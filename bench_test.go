@@ -1,0 +1,300 @@
+// Benchmarks mirroring every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index). Each benchmark exercises the
+// code path that regenerates the corresponding artifact on a reduced
+// workload; cmd/experiments runs the full-scale versions and prints the
+// tables themselves.
+package shapesearch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"shapesearch"
+	"shapesearch/internal/crf"
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/executor"
+	"shapesearch/internal/gen"
+	"shapesearch/internal/nlparser"
+	"shapesearch/internal/regexlang"
+)
+
+// benchSeries extracts a subsampled dataset once.
+func benchSeries(b *testing.B, ds gen.EvalDataset, factor int) []dataset.Series {
+	b.Helper()
+	series, err := dataset.Extract(ds.Table, ds.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if factor > 1 {
+		sub := make([]dataset.Series, 0, len(series)/factor+1)
+		for i := 0; i < len(series); i += factor {
+			sub = append(sub, series[i])
+		}
+		series = sub
+	}
+	return series
+}
+
+func benchOpts(alg executor.Algorithm, pruning bool) executor.Options {
+	o := executor.DefaultOptions()
+	o.Algorithm = alg
+	o.Pruning = pruning
+	o.Parallelism = 1
+	return o
+}
+
+func runSearch(b *testing.B, series []dataset.Series, query string, opts executor.Options) {
+	b.Helper()
+	q := regexlang.MustParse(query)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.SearchSeries(series, q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 measures the Figure 10 algorithm lineup on the Weather
+// substitute (the full five-dataset sweep is cmd/experiments -run fig10).
+func BenchmarkFig10(b *testing.B) {
+	series := benchSeries(b, gen.Weather(), 4)
+	const query = "(θ = 45° ⊗ d ⊗ u ⊗ d)"
+	for _, alg := range []struct {
+		name    string
+		alg     executor.Algorithm
+		pruning bool
+	}{
+		{"DP", executor.AlgDP, false},
+		{"DTW", executor.AlgDTW, false},
+		{"Greedy", executor.AlgGreedy, false},
+		{"SegmentTree", executor.AlgSegmentTree, false},
+		{"SegmentTreePruned", executor.AlgSegmentTree, true},
+	} {
+		b.Run(alg.name, func(b *testing.B) {
+			runSearch(b, series, query, benchOpts(alg.alg, alg.pruning))
+		})
+	}
+}
+
+// BenchmarkFig11 measures end-to-end non-fuzzy queries (EXTRACT through
+// SCORE) with and without push-down (Figure 11), on the Haptics substitute
+// whose pinned window is the most selective: push-down (a)/(c) prunes rows
+// at extraction.
+func BenchmarkFig11_Pushdown(b *testing.B) {
+	ds := gen.Haptics()
+	q := regexlang.MustParse("[p{up},x.s=60,x.e=80]")
+	for _, pd := range []struct {
+		name string
+		on   bool
+	}{{"On", true}, {"Off", false}} {
+		b.Run(pd.name, func(b *testing.B) {
+			opts := benchOpts(executor.AlgAuto, false)
+			opts.Pushdown = pd.on
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := executor.Search(ds.Table, ds.Spec, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12 measures the accuracy-comparison path: DP ground truth
+// plus a contender ranking on one dataset/query pair.
+func BenchmarkFig12_Accuracy(b *testing.B) {
+	series := benchSeries(b, gen.Weather(), 8)
+	q := regexlang.MustParse("(f ⊗ u ⊗ d ⊗ f)")
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts(executor.AlgDP, false)
+		opts.K = 20
+		if _, err := executor.SearchSeries(series, q, opts); err != nil {
+			b.Fatal(err)
+		}
+		opts.Algorithm = executor.AlgSegmentTree
+		if _, err := executor.SearchSeries(series, q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13a sweeps trendline length (Figure 13a) for DP and
+// SegmentTree on Worms prefixes.
+func BenchmarkFig13a_Points(b *testing.B) {
+	series := benchSeries(b, gen.Worms(), 16)
+	for _, n := range []int{100, 300, 900} {
+		prefixes := make([]dataset.Series, len(series))
+		for i, s := range series {
+			m := n
+			if m > s.Len() {
+				m = s.Len()
+			}
+			prefixes[i] = dataset.Series{Z: s.Z, X: s.X[:m], Y: s.Y[:m]}
+		}
+		for _, alg := range []struct {
+			name string
+			a    executor.Algorithm
+		}{{"DP", executor.AlgDP}, {"SegmentTree", executor.AlgSegmentTree}} {
+			b.Run(fmt.Sprintf("%s/n=%d", alg.name, n), func(b *testing.B) {
+				runSearch(b, prefixes, "u ; d ; u ; d", benchOpts(alg.a, false))
+			})
+		}
+	}
+}
+
+// BenchmarkFig13b sweeps the number of ShapeSegments (Figure 13b).
+func BenchmarkFig13b_Segments(b *testing.B) {
+	series := benchSeries(b, gen.Weather(), 8)
+	queries := map[int]string{2: "u;d", 4: "u;d;u;d", 6: "u;d;u;d;u;d"}
+	for _, k := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			runSearch(b, series, queries[k], benchOpts(executor.AlgSegmentTree, false))
+		})
+	}
+}
+
+// BenchmarkFig13c sweeps collection size (Figure 13c) on Real Estate.
+func BenchmarkFig13c_Collection(b *testing.B) {
+	series := benchSeries(b, gen.RealEstate(), 1)
+	for _, n := range []int{100, 400} {
+		sub := series[:n]
+		b.Run(fmt.Sprintf("viz=%d", n), func(b *testing.B) {
+			runSearch(b, sub, "u ; d ; u ; d", benchOpts(executor.AlgSegmentTree, false))
+		})
+	}
+}
+
+// BenchmarkTable8_TaskSuite measures the end-to-end engine latency on a
+// Table 10-style task query (the Table 8 / Fig 9b machine analog).
+func BenchmarkTable8_TaskSuite(b *testing.B) {
+	tbl := gen.Stocks(48, 120, 3)
+	spec := shapesearch.ExtractSpec{Z: "symbol", X: "day", Y: "price"}
+	series, err := shapesearch.Extract(tbl, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSearch(b, series, "[p=up, m={2,}] & [p=down, m={2,}]", benchOpts(executor.AlgSegmentTree, false))
+}
+
+// BenchmarkFig9a_ScoringAccuracy measures the §7.3 scoring-function path:
+// the optimal DP ranking used for the red accuracy bars.
+func BenchmarkFig9a_ScoringAccuracy(b *testing.B) {
+	tbl := gen.Stocks(32, 120, 3)
+	series, err := shapesearch.Extract(tbl, shapesearch.ExtractSpec{Z: "symbol", X: "day", Y: "price"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSearch(b, series, "u ; f ; d", benchOpts(executor.AlgDP, false))
+}
+
+// BenchmarkTable11_QueryVerification measures the Table 11 verification
+// pass (positive-match counting) on one dataset.
+func BenchmarkTable11_QueryVerification(b *testing.B) {
+	ds := gen.Weather()
+	series := benchSeries(b, ds, 8)
+	q := regexlang.MustParse(ds.FuzzyQueries[0])
+	opts := benchOpts(executor.AlgSegmentTree, false)
+	opts.K = len(series)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := executor.SearchSeries(series, q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		positive := 0
+		for _, r := range res {
+			if r.Score > 0 {
+				positive++
+			}
+		}
+		if positive == 0 {
+			b.Fatal("no positive matches")
+		}
+	}
+}
+
+// BenchmarkCRF_Train measures the Section 4 CRF training path.
+func BenchmarkCRF_Train(b *testing.B) {
+	corpus := nlparser.GenerateCorpus(60, 42)
+	seqs := nlparser.ToSequences(corpus)
+	cfg := crf.DefaultTrainConfig()
+	cfg.Iterations = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crf.Train(seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNLParse measures natural-language parsing latency.
+func BenchmarkNLParse(b *testing.B) {
+	p := nlparser.NewParser()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Parse("show me genes that are rising, then going down, and then increasing"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegexParse measures visual-regex parsing latency.
+func BenchmarkRegexParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := regexlang.Parse("[x.s=2, x.e=5, p=up, m=>>] ; (d | f) ; [p=up, m={2,5}]"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleViz isolates per-visualization segmentation cost for the
+// two main engines (the unit underlying every runtime figure).
+func BenchmarkSingleViz(b *testing.B) {
+	series := benchSeries(b, gen.Worms(), 256)[:1]
+	for _, alg := range []struct {
+		name string
+		a    executor.Algorithm
+	}{{"DP", executor.AlgDP}, {"SegmentTree", executor.AlgSegmentTree}, {"Greedy", executor.AlgGreedy}} {
+		b.Run(alg.name, func(b *testing.B) {
+			runSearch(b, series, "u ; d ; u", benchOpts(alg.a, false))
+		})
+	}
+}
+
+// BenchmarkAblation_MinSegmentFrac measures the cost/effect of the
+// perceptibility floor (DESIGN.md design decision: the floor plays the
+// paper's binning-width role; smaller floors mean finer SegmentTree leaves
+// and more DP candidates).
+func BenchmarkAblation_MinSegmentFrac(b *testing.B) {
+	series := benchSeries(b, gen.Worms(), 16)
+	for _, frac := range []float64{0.01, 0.05, 0.10} {
+		b.Run(fmt.Sprintf("frac=%v", frac), func(b *testing.B) {
+			opts := benchOpts(executor.AlgSegmentTree, false)
+			opts.MinSegmentFrac = frac
+			runSearch(b, series, "u ; d ; u ; d", opts)
+		})
+	}
+}
+
+// BenchmarkAblation_Parallelism measures the pipelined executor's worker
+// scaling across visualizations.
+func BenchmarkAblation_Parallelism(b *testing.B) {
+	series := benchSeries(b, gen.FiftyWords(), 4)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchOpts(executor.AlgSegmentTree, false)
+			opts.Parallelism = workers
+			runSearch(b, series, "d ; u ; f", opts)
+		})
+	}
+}
+
+// BenchmarkAblation_Pruning isolates the two-stage collective pruning
+// effect at full collection size (Fig 13c's widening-gap claim).
+func BenchmarkAblation_Pruning(b *testing.B) {
+	series := benchSeries(b, gen.RealEstate(), 1)
+	for _, pruning := range []bool{false, true} {
+		b.Run(fmt.Sprintf("pruning=%v", pruning), func(b *testing.B) {
+			runSearch(b, series, "u ; d ; u ; d", benchOpts(executor.AlgSegmentTree, pruning))
+		})
+	}
+}

@@ -1,0 +1,297 @@
+// Command shapesearch is the terminal front-end: load a CSV dataset (or a
+// built-in demo), issue a shape query as a visual regex or natural
+// language, and print the top matching trendlines as sparklines.
+//
+// Examples:
+//
+//	shapesearch -demo stocks -regex "u ; d ; u ; d" -k 5
+//	shapesearch -demo genes -nl "rising then falling then rising"
+//	shapesearch -data prices.csv -z symbol -x day -y close -regex "[p=up, m={2,}]"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"shapesearch"
+	"shapesearch/internal/gen"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "CSV dataset path")
+		demo      = flag.String("demo", "", "built-in demo dataset: stocks, genes, luminosity, cities")
+		zAttr     = flag.String("z", "", "category attribute (one trendline per value)")
+		xAttr     = flag.String("x", "", "x axis attribute")
+		yAttr     = flag.String("y", "", "y axis attribute")
+		agg       = flag.String("agg", "none", "aggregation for duplicate (z,x): none, avg, sum, min, max, count")
+		regex     = flag.String("regex", "", "visual regular expression query")
+		nl        = flag.String("nl", "", "natural language query")
+		k         = flag.Int("k", 5, "number of results")
+		algName   = flag.String("alg", "auto", "algorithm: auto, dp, segmenttree, greedy, dtw, euclidean")
+		pruning   = flag.Bool("pruning", false, "enable two-stage collective pruning")
+		filterStr = flag.String("filter", "", "filters, e.g. \"price>10;region=west\" (separators ; , ops = != < <= > >=)")
+		width     = flag.Int("width", 60, "sparkline width")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *demo, *zAttr, *xAttr, *yAttr, *agg, *regex, *nl,
+		*k, *algName, *pruning, *filterStr, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "shapesearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
+	k int, algName string, pruning bool, filterStr string, width int) error {
+	tbl, spec, err := loadData(dataPath, demo, zAttr, xAttr, yAttr)
+	if err != nil {
+		return err
+	}
+	spec.Agg, err = aggByName(agg)
+	if err != nil {
+		return err
+	}
+	spec.Filters, err = parseFilters(filterStr)
+	if err != nil {
+		return err
+	}
+
+	var q shapesearch.Query
+	switch {
+	case regex != "" && nl != "":
+		return fmt.Errorf("pass either -regex or -nl, not both")
+	case regex != "":
+		q, err = shapesearch.ParseRegex(regex)
+		if err != nil {
+			return err
+		}
+	case nl != "":
+		var info *shapesearch.NLParseInfo
+		q, info, err = shapesearch.ParseNL(nl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parsed: %s\n", q)
+		for _, r := range info.Resolutions {
+			fmt.Printf("  note: %s\n", r)
+		}
+	default:
+		return fmt.Errorf("a query is required: -regex or -nl")
+	}
+
+	opts := shapesearch.DefaultOptions()
+	opts.K = k
+	opts.Pruning = pruning
+	opts.Algorithm, err = algByName(algName)
+	if err != nil {
+		return err
+	}
+
+	results, err := shapesearch.Search(tbl, spec, q, opts)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		fmt.Println("no matches")
+		return nil
+	}
+	maxZ := 0
+	for _, r := range results {
+		if len(r.Z) > maxZ {
+			maxZ = len(r.Z)
+		}
+	}
+	for i, r := range results {
+		fmt.Printf("%2d. %-*s  %+.3f  %s\n", i+1, maxZ, r.Z, r.Score, sparkline(r.Series.Y, width))
+		if len(r.BreakXs) > 2 {
+			parts := make([]string, len(r.BreakXs))
+			for j, bx := range r.BreakXs {
+				parts[j] = strconv.FormatFloat(bx, 'g', 4, 64)
+			}
+			fmt.Printf("    %*s  breaks at x = %s\n", maxZ, "", strings.Join(parts, ", "))
+		}
+	}
+	return nil
+}
+
+func loadData(dataPath, demo, zAttr, xAttr, yAttr string) (*shapesearch.Table, shapesearch.ExtractSpec, error) {
+	var spec shapesearch.ExtractSpec
+	switch {
+	case dataPath != "" && demo != "":
+		return nil, spec, fmt.Errorf("pass either -data or -demo, not both")
+	case dataPath != "":
+		if zAttr == "" || xAttr == "" || yAttr == "" {
+			return nil, spec, fmt.Errorf("-data requires -z, -x and -y")
+		}
+		tbl, err := shapesearch.OpenCSV(dataPath)
+		if err != nil {
+			return nil, spec, err
+		}
+		return tbl, shapesearch.ExtractSpec{Z: zAttr, X: xAttr, Y: yAttr}, nil
+	case demo != "":
+		tbl, spec, err := demoData(demo)
+		return tbl, spec, err
+	default:
+		return nil, spec, fmt.Errorf("a dataset is required: -data or -demo")
+	}
+}
+
+func demoData(name string) (*shapesearch.Table, shapesearch.ExtractSpec, error) {
+	switch name {
+	case "stocks":
+		return gen.Stocks(60, 150, 1), shapesearch.ExtractSpec{Z: "symbol", X: "day", Y: "price"}, nil
+	case "genes":
+		return gen.Genes(80, 48, 1), shapesearch.ExtractSpec{Z: "gene", X: "hour", Y: "expression"}, nil
+	case "luminosity":
+		return gen.Luminosity(40, 300, 1), shapesearch.ExtractSpec{Z: "star", X: "time", Y: "luminosity"}, nil
+	case "cities":
+		return gen.Cities(30, 24, 1), shapesearch.ExtractSpec{Z: "city", X: "month", Y: "temperature"}, nil
+	default:
+		return nil, shapesearch.ExtractSpec{}, fmt.Errorf("unknown demo %q (want stocks, genes, luminosity, or cities)", name)
+	}
+}
+
+func aggByName(name string) (shapesearch.Agg, error) {
+	switch name {
+	case "", "none":
+		return shapesearch.AggNone, nil
+	case "avg":
+		return shapesearch.AggAvg, nil
+	case "sum":
+		return shapesearch.AggSum, nil
+	case "min":
+		return shapesearch.AggMin, nil
+	case "max":
+		return shapesearch.AggMax, nil
+	case "count":
+		return shapesearch.AggCount, nil
+	default:
+		return shapesearch.AggNone, fmt.Errorf("unknown aggregation %q", name)
+	}
+}
+
+func algByName(name string) (shapesearch.Algorithm, error) {
+	switch name {
+	case "auto", "":
+		return shapesearch.AlgAuto, nil
+	case "dp":
+		return shapesearch.AlgDP, nil
+	case "segmenttree", "tree":
+		return shapesearch.AlgSegmentTree, nil
+	case "greedy":
+		return shapesearch.AlgGreedy, nil
+	case "exhaustive":
+		return shapesearch.AlgExhaustive, nil
+	case "dtw":
+		return shapesearch.AlgDTW, nil
+	case "euclidean":
+		return shapesearch.AlgEuclidean, nil
+	default:
+		return shapesearch.AlgAuto, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// parseFilters parses "col>num;col=str" into filter predicates.
+func parseFilters(s string) ([]shapesearch.Filter, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var filters []shapesearch.Filter
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		f, err := parseFilter(clause)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, f)
+	}
+	return filters, nil
+}
+
+func parseFilter(clause string) (shapesearch.Filter, error) {
+	ops := []struct {
+		text string
+		op   shapesearch.Filter
+	}{
+		{"!=", shapesearch.Filter{Op: shapesearch.Ne}},
+		{"<=", shapesearch.Filter{Op: shapesearch.Le}},
+		{">=", shapesearch.Filter{Op: shapesearch.Ge}},
+		{"<", shapesearch.Filter{Op: shapesearch.Lt}},
+		{">", shapesearch.Filter{Op: shapesearch.Gt}},
+		{"=", shapesearch.Filter{Op: shapesearch.Eq}},
+	}
+	for _, cand := range ops {
+		idx := strings.Index(clause, cand.text)
+		if idx <= 0 {
+			continue
+		}
+		f := cand.op
+		f.Col = strings.TrimSpace(clause[:idx])
+		val := strings.TrimSpace(clause[idx+len(cand.text):])
+		if num, err := strconv.ParseFloat(val, 64); err == nil {
+			f.Num = num
+		} else {
+			f.Str = val
+		}
+		return f, nil
+	}
+	return shapesearch.Filter{}, fmt.Errorf("cannot parse filter %q (want col<op>value)", clause)
+}
+
+// sparkline renders a series as unicode block characters.
+func sparkline(ys []float64, width int) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 60
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	// Downsample by averaging buckets.
+	sampled := make([]float64, 0, width)
+	if len(ys) <= width {
+		sampled = ys
+	} else {
+		per := float64(len(ys)) / float64(width)
+		for i := 0; i < width; i++ {
+			lo := int(float64(i) * per)
+			hi := int(float64(i+1) * per)
+			if hi > len(ys) {
+				hi = len(ys)
+			}
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range ys[lo:hi] {
+				sum += v
+			}
+			sampled = append(sampled, sum/float64(hi-lo))
+		}
+	}
+	min, max := sampled[0], sampled[0]
+	for _, v := range sampled {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	for _, v := range sampled {
+		idx := int((v - min) / span * float64(len(blocks)-1))
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}

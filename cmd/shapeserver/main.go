@@ -1,0 +1,70 @@
+// Command shapeserver runs the ShapeSearch REST back-end. It registers the
+// built-in demo datasets and optionally CSV files from disk, then serves
+// the /api endpoints (see internal/server).
+//
+// Examples:
+//
+//	shapeserver -addr :8080
+//	shapeserver -addr :8080 -load prices=prices.csv -load weather=w.csv
+//
+//	curl -s localhost:8080/api/datasets
+//	curl -s -X POST localhost:8080/api/search -d '{
+//	  "kind":"nl","query":"rising then falling",
+//	  "dataset":"stocks","z":"symbol","x":"day","y":"price","k":3}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"shapesearch"
+	"shapesearch/internal/gen"
+	"shapesearch/internal/server"
+)
+
+// loadFlags accumulates repeated -load name=path flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	noDemo := flag.Bool("nodemo", false, "skip registering the built-in demo datasets")
+	var loads loadFlags
+	flag.Var(&loads, "load", "register a CSV dataset as name=path (repeatable)")
+	flag.Parse()
+
+	srv := server.New()
+	if !*noDemo {
+		srv.Register("stocks", gen.Stocks(60, 150, 1))
+		srv.Register("genes", gen.Genes(80, 48, 1))
+		srv.Register("luminosity", gen.Luminosity(40, 300, 1))
+		srv.Register("cities", gen.Cities(30, 24, 1))
+		log.Printf("registered demo datasets: stocks, genes, luminosity, cities")
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("shapeserver: -load wants name=path, got %q", spec)
+		}
+		tbl, err := shapesearch.OpenCSV(path)
+		if err != nil {
+			log.Fatalf("shapeserver: loading %q: %v", path, err)
+		}
+		srv.Register(name, tbl)
+		log.Printf("registered %q from %s (%d rows)", name, path, tbl.NumRows())
+	}
+
+	log.Printf("shapeserver listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(fmt.Errorf("shapeserver: %w", err))
+	}
+}

@@ -1,0 +1,217 @@
+package crf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// toySequences builds a simple synthetic tagging task: tokens carry a
+// feature that mostly reveals their label, plus transition structure
+// (label B never follows A directly).
+func toySequences(n int, seed int64) []Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	var seqs []Sequence
+	for s := 0; s < n; s++ {
+		T := 3 + rng.Intn(8)
+		var feats [][]string
+		var labels []string
+		prev := ""
+		for t := 0; t < T; t++ {
+			label := []string{"X", "Y", "O"}[rng.Intn(3)]
+			if prev == "X" && label == "Y" {
+				label = "O" // forbidden transition, learnable
+			}
+			f := []string{"bias"}
+			if rng.Float64() < 0.9 {
+				f = append(f, "hint="+label)
+			} else {
+				f = append(f, "hint=none")
+			}
+			f = append(f, fmt.Sprintf("pos=%d", t%3))
+			feats = append(feats, f)
+			labels = append(labels, label)
+			prev = label
+		}
+		seqs = append(seqs, Sequence{Features: feats, Labels: labels})
+	}
+	return seqs
+}
+
+func TestTrainAndDecode(t *testing.T) {
+	train := toySequences(120, 1)
+	test := toySequences(40, 2)
+	cfg := DefaultTrainConfig()
+	cfg.Iterations = 20
+	model, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Evaluate(test, "O")
+	if m.Accuracy < 0.85 {
+		t.Fatalf("accuracy = %v, want >= 0.85", m.Accuracy)
+	}
+	if m.F1 < 0.8 {
+		t.Fatalf("F1 = %v, want >= 0.8", m.F1)
+	}
+}
+
+func TestTrainingImprovesLikelihood(t *testing.T) {
+	seqs := toySequences(60, 3)
+	short := DefaultTrainConfig()
+	short.Iterations = 1
+	long := DefaultTrainConfig()
+	long.Iterations = 15
+	m1, err := Train(seqs, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(seqs, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll1 := m1.LogLikelihood(seqs)
+	ll2 := m2.LogLikelihood(seqs)
+	if ll2 <= ll1 {
+		t.Fatalf("more training should improve likelihood: %v vs %v", ll1, ll2)
+	}
+	if ll2 > 0 {
+		t.Fatalf("log likelihood must be non-positive, got %v", ll2)
+	}
+}
+
+func TestLearnsTransitions(t *testing.T) {
+	// Sequences where the feature is useless and only transitions matter:
+	// the label alternates A, B, A, B...
+	var seqs []Sequence
+	for s := 0; s < 50; s++ {
+		T := 6
+		var feats [][]string
+		var labels []string
+		for t := 0; t < T; t++ {
+			feats = append(feats, []string{"bias"})
+			if t%2 == 0 {
+				labels = append(labels, "A")
+			} else {
+				labels = append(labels, "B")
+			}
+		}
+		seqs = append(seqs, Sequence{Features: feats, Labels: labels})
+	}
+	model, err := Train(seqs, TrainConfig{Iterations: 25, LearningRate: 0.5, L2: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.Decode([][]string{{"bias"}, {"bias"}, {"bias"}, {"bias"}})
+	// Alternation must be reproduced (phase may start at A since A always
+	// begins the training sequences).
+	if pred[0] != "A" || pred[1] != "B" || pred[2] != "A" || pred[3] != "B" {
+		t.Fatalf("decoded %v, want alternating A B A B", pred)
+	}
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	seqs := toySequences(30, 5)
+	model, err := Train(seqs, TrainConfig{Iterations: 5, LearningRate: 0.5, L2: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For short feature sequences, compare Viterbi with brute force.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		T := 1 + rng.Intn(4)
+		feats := make([][]string, T)
+		for t := range feats {
+			feats[t] = []string{"bias", fmt.Sprintf("hint=%s", []string{"X", "Y", "O", "none"}[rng.Intn(4)])}
+		}
+		got := model.Decode(feats)
+		want, wantScore := bruteForceBest(model, feats)
+		gotScore := pathScore(model, feats, got)
+		if math.Abs(gotScore-wantScore) > 1e-9 {
+			t.Fatalf("viterbi path %v (%v) != brute force %v (%v)", got, gotScore, want, wantScore)
+		}
+	}
+}
+
+func bruteForceBest(m *Model, feats [][]string) ([]string, float64) {
+	T := len(feats)
+	L := len(m.Labels)
+	best := math.Inf(-1)
+	var bestPath []string
+	path := make([]string, T)
+	var rec func(t int)
+	rec = func(t int) {
+		if t == T {
+			if s := pathScore(m, feats, path); s > best {
+				best = s
+				bestPath = append([]string(nil), path...)
+			}
+			return
+		}
+		for y := 0; y < L; y++ {
+			path[t] = m.Labels[y]
+			rec(t + 1)
+		}
+	}
+	rec(0)
+	return bestPath, best
+}
+
+func pathScore(m *Model, feats [][]string, path []string) float64 {
+	scores := m.positionScores(feats)
+	total := scores[0][m.labelIdx[path[0]]]
+	for t := 1; t < len(path); t++ {
+		total += m.trans[m.labelIdx[path[t-1]]][m.labelIdx[path[t]]] + scores[t][m.labelIdx[path[t]]]
+	}
+	return total
+}
+
+func TestForwardBackwardConsistency(t *testing.T) {
+	// logZ from alpha must match an explicit sum over all paths.
+	seqs := toySequences(20, 9)
+	model, err := Train(seqs, TrainConfig{Iterations: 3, LearningRate: 0.5, L2: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := [][]string{{"bias", "hint=X"}, {"bias"}, {"bias", "hint=Y"}}
+	scores := model.positionScores(feats)
+	_, _, logZ := model.forwardBackward(scores)
+	// Brute force partition.
+	L := len(model.Labels)
+	var total float64
+	path := make([]string, len(feats))
+	var rec func(t int)
+	rec = func(t int) {
+		if t == len(feats) {
+			total += math.Exp(pathScore(model, feats, path))
+			return
+		}
+		for y := 0; y < L; y++ {
+			path[t] = model.Labels[y]
+			rec(t + 1)
+		}
+	}
+	rec(0)
+	if math.Abs(logZ-math.Log(total)) > 1e-6 {
+		t.Fatalf("logZ = %v, brute force = %v", logZ, math.Log(total))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("no data should error")
+	}
+	bad := []Sequence{{Features: [][]string{{"a"}}, Labels: []string{"X", "Y"}}}
+	if _, err := Train(bad, DefaultTrainConfig()); err == nil {
+		t.Fatal("misaligned sequence should error")
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	seqs := toySequences(5, 11)
+	model, _ := Train(seqs, TrainConfig{Iterations: 1, LearningRate: 0.5})
+	if out := model.Decode(nil); out != nil {
+		t.Fatal("empty decode should be nil")
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// FromCSV reads a table from CSV data with a header row. Column types are
+// inferred: a column where every non-empty value parses as a float becomes
+// Float, otherwise String. Empty numeric cells become NaN (and are skipped
+// by Extract).
+func FromCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no header row")
+	}
+	header := records[0]
+	body := records[1:]
+	cols := make([]Column, len(header))
+	for j, name := range header {
+		cols[j] = inferColumn(name, body, j)
+	}
+	return New(cols...)
+}
+
+// OpenCSV loads a CSV file from disk.
+func OpenCSV(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return FromCSV(f)
+}
+
+func inferColumn(name string, body [][]string, j int) Column {
+	numeric := true
+	for _, rec := range body {
+		if j >= len(rec) || rec[j] == "" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(rec[j], 64); err != nil {
+			numeric = false
+			break
+		}
+	}
+	if numeric {
+		c := Column{Name: name, Type: Float, Floats: make([]float64, len(body))}
+		for i, rec := range body {
+			if j >= len(rec) || rec[j] == "" {
+				c.Floats[i] = nan()
+				continue
+			}
+			v, _ := strconv.ParseFloat(rec[j], 64)
+			c.Floats[i] = v
+		}
+		return c
+	}
+	c := Column{Name: name, Type: String, Strings: make([]string, len(body))}
+	for i, rec := range body {
+		if j < len(rec) {
+			c.Strings[i] = rec[j]
+		}
+	}
+	return c
+}
+
+// FromJSON reads a table from a JSON array of flat objects. Numeric values
+// become Float columns; everything else is stringified. Keys missing from
+// some objects become NaN / empty values.
+func FromJSON(r io.Reader) (*Table, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var rows []map[string]any
+	if err := dec.Decode(&rows); err != nil {
+		return nil, fmt.Errorf("dataset: decoding JSON: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: JSON array is empty")
+	}
+	// Collect keys in first-seen order for stable column ordering.
+	var names []string
+	seen := make(map[string]bool)
+	numeric := make(map[string]bool)
+	for _, row := range rows {
+		for k, v := range row {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+				numeric[k] = true
+			}
+			if _, ok := v.(json.Number); !ok && v != nil {
+				numeric[k] = false
+			}
+		}
+	}
+	sortStableByFirstSeen(names, rows)
+	cols := make([]Column, 0, len(names))
+	for _, k := range names {
+		if numeric[k] {
+			c := Column{Name: k, Type: Float, Floats: make([]float64, len(rows))}
+			for i, row := range rows {
+				if n, ok := row[k].(json.Number); ok {
+					f, err := n.Float64()
+					if err != nil {
+						return nil, fmt.Errorf("dataset: column %q row %d: %w", k, i, err)
+					}
+					c.Floats[i] = f
+				} else {
+					c.Floats[i] = nan()
+				}
+			}
+			cols = append(cols, c)
+			continue
+		}
+		c := Column{Name: k, Type: String, Strings: make([]string, len(rows))}
+		for i, row := range rows {
+			switch v := row[k].(type) {
+			case nil:
+				c.Strings[i] = ""
+			case string:
+				c.Strings[i] = v
+			case json.Number:
+				c.Strings[i] = v.String()
+			case bool:
+				c.Strings[i] = strconv.FormatBool(v)
+			default:
+				b, _ := json.Marshal(v)
+				c.Strings[i] = string(b)
+			}
+		}
+		cols = append(cols, c)
+	}
+	return New(cols...)
+}
+
+// sortStableByFirstSeen keeps map-iteration nondeterminism out of the column
+// order: names discovered within one row are sorted lexicographically while
+// preserving cross-row discovery order. In practice rows share a schema, so
+// this yields a deterministic, sorted column order.
+func sortStableByFirstSeen(names []string, rows []map[string]any) {
+	if len(rows) == 0 {
+		return
+	}
+	first := rows[0]
+	// Names present in the first row come first, sorted; stragglers after,
+	// sorted.
+	var a, b []string
+	for _, n := range names {
+		if _, ok := first[n]; ok {
+			a = append(a, n)
+		} else {
+			b = append(b, n)
+		}
+	}
+	sortStrings(a)
+	sortStrings(b)
+	copy(names, append(a, b...))
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// WriteCSV renders the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.cols))
+	for i := 0; i < t.rows; i++ {
+		for j := range t.cols {
+			rec[j] = t.cols[j].ValueString(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,449 @@
+package executor
+
+import (
+	"fmt"
+	"math"
+
+	"shapesearch/internal/score"
+	"shapesearch/internal/segstat"
+	"shapesearch/internal/shape"
+)
+
+// chainEval evaluates one normalized chain (a weighted CONCAT sequence of
+// units) against one visualization. Engines (DP, SegmentTree, greedy,
+// exhaustive) decide which point range each unit covers; chainEval scores a
+// unit over a range, and combines unit scores into the chain score.
+type chainEval struct {
+	viz   *Viz
+	chain shape.Chain
+	units []compiledUnit
+	opts  *Options
+	// skippedPrefix[i] counts skipped points before index i; nil when the
+	// GROUP operator summarized everything.
+	skippedPrefix []int
+	// refSlopes holds each unit's fitted slope once a segmentation is
+	// chosen; POSITION references read it during the re-scoring pass.
+	// nil during the search pass (references provisionally score 1).
+	refSlopes []float64
+	// tolX and tolY are the location-satisfaction tolerances.
+	tolX, tolY float64
+	// ampUnit is one standard deviation of the normalized y values (1.0
+	// under z-normalization); quantifier occurrences must move at least a
+	// quarter of it to count as a perceptible rise or fall.
+	ampUnit float64
+}
+
+type compiledUnit struct {
+	unit shape.Unit
+	// pinStart and pinEnd are pinned boundaries as point indices; −1 when
+	// the side is free. pinErr marks pins that fall outside the data.
+	pinStart, pinEnd int
+	pinErr           bool
+	// nested holds pre-normalized sub-queries of PatNested segments,
+	// keyed by the sub-query root (stable across the segment copies the
+	// iterator path makes), compiled once per chain.
+	nested map[*shape.Node]shape.Normalized
+}
+
+func (u *compiledUnit) pinned() bool { return u.pinStart >= 0 && u.pinEnd >= 0 }
+
+// compileChain prepares a chain for evaluation against a visualization.
+func compileChain(v *Viz, chain shape.Chain, opts *Options) (*chainEval, error) {
+	ce := &chainEval{viz: v, chain: chain, opts: opts}
+	n := v.N()
+	if v.Skipped != nil {
+		ce.skippedPrefix = make([]int, n+1)
+		for i, s := range v.Skipped {
+			ce.skippedPrefix[i+1] = ce.skippedPrefix[i]
+			if s {
+				ce.skippedPrefix[i+1]++
+			}
+		}
+	}
+	span := v.Series.X[n-1] - v.Series.X[0]
+	ce.tolX = 1.5 * span / float64(n-1)
+	lo, hi := v.yRange()
+	ce.tolY = 0.1*(hi-lo) + 1e-9
+	ce.ampUnit = segstat.Std(v.NY)
+	if ce.ampUnit == 0 {
+		ce.ampUnit = 1
+	}
+	for _, u := range chain.Units {
+		cu := compiledUnit{pinStart: -1, pinEnd: -1}
+		cu.unit = u
+		if x, ok := u.PinnedStart(); ok {
+			if x < v.Series.X[0]-ce.tolX || x > v.Series.X[n-1]+ce.tolX {
+				cu.pinErr = true
+			} else {
+				cu.pinStart = v.indexOfX(x)
+			}
+		}
+		if x, ok := u.PinnedEnd(); ok {
+			if x < v.Series.X[0]-ce.tolX || x > v.Series.X[n-1]+ce.tolX {
+				cu.pinErr = true
+			} else {
+				cu.pinEnd = v.indexAtOrBefore(x)
+			}
+		}
+		if cu.pinStart >= 0 && cu.pinEnd >= 0 && cu.pinEnd <= cu.pinStart {
+			cu.pinErr = true
+		}
+		var compileErr error
+		u.Node.Walk(func(m *shape.Node) {
+			if compileErr != nil || m.Kind != shape.NodeSegment {
+				return
+			}
+			seg := m.Seg
+			if seg.Pat.Kind == shape.PatUDP {
+				if _, ok := opts.UDPs.Lookup(seg.Pat.Name); !ok {
+					compileErr = fmt.Errorf("executor: unknown user-defined pattern %q", seg.Pat.Name)
+				}
+			}
+			if seg.Pat.Kind == shape.PatNested {
+				norm, err := shape.Normalize(shape.Query{Root: seg.Pat.Sub})
+				if err != nil {
+					compileErr = err
+					return
+				}
+				if cu.nested == nil {
+					cu.nested = make(map[*shape.Node]shape.Normalized)
+				}
+				cu.nested[seg.Pat.Sub] = norm
+			}
+		})
+		if compileErr != nil {
+			return nil, compileErr
+		}
+		ce.units = append(ce.units, cu)
+	}
+	return ce, nil
+}
+
+// anySkipped reports whether inclusive point range [i, j] touches a point
+// the GROUP operator did not summarize.
+func (ce *chainEval) anySkipped(i, j int) bool {
+	if ce.skippedPrefix == nil {
+		return false
+	}
+	return ce.skippedPrefix[j+1]-ce.skippedPrefix[i] > 0
+}
+
+// unitScore scores unit t over the inclusive point range [i, j].
+func (ce *chainEval) unitScore(t, i, j int) float64 {
+	if j <= i || i < 0 || j >= ce.viz.N() {
+		return score.WorstScore
+	}
+	cu := &ce.units[t]
+	if cu.pinErr {
+		return score.WorstScore
+	}
+	if ce.anySkipped(i, j) {
+		return score.WorstScore
+	}
+	return ce.evalNode(cu, cu.unit.Node, t, i, j)
+}
+
+func (ce *chainEval) evalNode(cu *compiledUnit, n *shape.Node, t, i, j int) float64 {
+	switch n.Kind {
+	case shape.NodeSegment:
+		return ce.evalSegment(cu, n, t, i, j)
+	case shape.NodeAnd:
+		s := score.BestScore
+		for _, c := range n.Children {
+			if v := ce.evalNode(cu, c, t, i, j); v < s {
+				s = v
+			}
+		}
+		return s
+	case shape.NodeOr:
+		s := score.WorstScore
+		for _, c := range n.Children {
+			if v := ce.evalNode(cu, c, t, i, j); v > s {
+				s = v
+			}
+		}
+		return s
+	case shape.NodeNot:
+		return -ce.evalNode(cu, n.Children[0], t, i, j)
+	default:
+		return score.WorstScore
+	}
+}
+
+// evalSegment scores one ShapeSegment over [i, j] (Section 5.2): the
+// LOCATION/MODIFIER satisfaction part first (worst score on violation),
+// then the PATTERN similarity part.
+func (ce *chainEval) evalSegment(cu *compiledUnit, n *shape.Node, t, i, j int) float64 {
+	seg := n.Seg
+	v := ce.viz
+
+	// ITERATOR: scan fixed-width windows inside [i, j] and keep the best.
+	if seg.Loc.HasIterator() {
+		return ce.evalIterator(cu, n, t, i, j)
+	}
+
+	// LOCATION satisfaction. Pinned x endpoints must coincide with the
+	// assigned range (engines assign pinned units their exact ranges; the
+	// check also serves the exhaustive engine, which tries everything).
+	if c := seg.Loc.XS; c.Set && !c.Iter {
+		if math.Abs(v.Series.X[i]-c.Value) > ce.tolX {
+			return score.WorstScore
+		}
+	}
+	if c := seg.Loc.XE; c.Set && !c.Iter {
+		if math.Abs(v.Series.X[j]-c.Value) > ce.tolX {
+			return score.WorstScore
+		}
+	}
+	hasYPins := seg.Loc.YS.Set || seg.Loc.YE.Set
+	if seg.Loc.YS.Set && math.Abs(v.Series.Y[i]-seg.Loc.YS.Value) > ce.tolY {
+		return score.WorstScore
+	}
+	if seg.Loc.YE.Set && math.Abs(v.Series.Y[j]-seg.Loc.YE.Value) > ce.tolY {
+		return score.WorstScore
+	}
+
+	// PATTERN similarity. Multiple facets (pattern, sketch, y-anchor line)
+	// combine conservatively with min — all must hold.
+	best := math.Inf(1)
+	consider := func(s float64) {
+		if s < best {
+			best = s
+		}
+	}
+	if seg.Pat.Kind != shape.PatNone {
+		consider(ce.evalPattern(cu, n, t, i, j))
+	}
+	if len(seg.Sketch) > 0 {
+		qy := make([]float64, len(seg.Sketch))
+		for k, pt := range seg.Sketch {
+			qy[k] = pt.Y
+		}
+		consider(ce.opts.SketchConfig.SketchL2(qy, v.Series.Y[i:j+1]))
+	}
+	if seg.Pat.Kind == shape.PatNone && hasYPins {
+		// Anchor-line similarity: how closely the trend follows the line
+		// from (x.s, y.s) to (x.e, y.e). y is unnormalized here because
+		// queries with y constraints disable z-normalization.
+		dy := seg.Loc.YE.Value - seg.Loc.YS.Value
+		dx := v.NX[j] - v.NX[i]
+		if dx <= 0 {
+			return score.WorstScore
+		}
+		slope, ok := v.rangeSlope(i, j)
+		if !ok {
+			return score.WorstScore
+		}
+		target := math.Atan2(dy, dx) * 180 / math.Pi
+		consider(score.Theta(slope, target))
+	}
+	if math.IsInf(best, 1) {
+		// Location-only segment: satisfaction already passed.
+		return score.BestScore
+	}
+	return best
+}
+
+// evalIterator implements the ITERATOR sub-primitive: [x.s=., x.e=.+w, ...]
+// slides a window of domain-width w across [i, j], scoring the rest of the
+// segment over each window and keeping the maximum.
+func (ce *chainEval) evalIterator(cu *compiledUnit, n *shape.Node, t, i, j int) float64 {
+	seg := n.Seg
+	v := ce.viz
+	w := seg.Loc.XE.IterOffset
+	inner := *seg
+	inner.Loc = shape.Location{YS: seg.Loc.YS, YE: seg.Loc.YE}
+	innerNode := &shape.Node{Kind: shape.NodeSegment, Seg: &inner}
+	best := score.WorstScore
+	for s := i; s < j; s++ {
+		endX := v.Series.X[s] + w
+		if endX > v.Series.X[j]+ce.tolX {
+			break
+		}
+		e := v.indexAtOrBefore(endX)
+		if e > j {
+			e = j
+		}
+		if e <= s {
+			continue
+		}
+		if sc := ce.evalSegment(cu, innerNode, t, s, e); sc > best {
+			best = sc
+		}
+	}
+	return best
+}
+
+// evalPattern scores the PATTERN primitive of a segment over [i, j].
+func (ce *chainEval) evalPattern(cu *compiledUnit, n *shape.Node, t, i, j int) float64 {
+	seg := n.Seg
+	v := ce.viz
+	switch seg.Pat.Kind {
+	case shape.PatUp, shape.PatDown, shape.PatFlat, shape.PatSlope, shape.PatAny, shape.PatEmpty:
+		if seg.Mod.Kind == shape.ModQuantifier {
+			return ce.evalQuantifier(seg, i, j)
+		}
+		slope, ok := v.rangeSlope(i, j)
+		if !ok {
+			return score.WorstScore
+		}
+		base := func(s float64) float64 { return score.ForKind(seg.Pat.Kind, s, seg.Pat.Slope) }
+		switch seg.Mod.Kind {
+		case shape.ModMore, shape.ModMuchMore, shape.ModLess, shape.ModMuchLess:
+			return score.Modified(seg.Mod.Kind, base, slope)
+		default:
+			return base(slope)
+		}
+	case shape.PatPosition:
+		slope, ok := v.rangeSlope(i, j)
+		if !ok {
+			return score.WorstScore
+		}
+		ref := ce.resolveRef(seg.Pat.Ref, t)
+		if ref < 0 || ref >= len(ce.units) || ref == t {
+			return score.WorstScore
+		}
+		if ce.refSlopes == nil {
+			// Search pass: the referenced unit's slope is unknown until a
+			// segmentation is chosen; provisionally a perfect match. The
+			// final segmentation is re-scored exactly (see scoreRanges).
+			return score.BestScore
+		}
+		return score.PositionScore(seg.Mod, slope, ce.refSlopes[ref])
+	case shape.PatUDP:
+		fn, ok := ce.opts.UDPs.Lookup(seg.Pat.Name)
+		if !ok {
+			return score.WorstScore
+		}
+		return score.Clamp(fn(v.Series.X[i:j+1], v.Series.Y[i:j+1]))
+	case shape.PatNested:
+		norm, ok := cu.nested[seg.Pat.Sub]
+		if !ok {
+			// Nested sub-queries reached through copied segments (e.g.
+			// built by UDFs at evaluation time) normalize lazily.
+			lazy, err := shape.Normalize(shape.Query{Root: seg.Pat.Sub})
+			if err != nil {
+				return score.WorstScore
+			}
+			if cu.nested == nil {
+				cu.nested = make(map[*shape.Node]shape.Normalized)
+			}
+			cu.nested[seg.Pat.Sub] = lazy
+			norm = lazy
+		}
+		return ce.evalNested(norm, i, j)
+	default:
+		return score.WorstScore
+	}
+}
+
+// resolveRef maps a POSITION reference to a unit index.
+func (ce *chainEval) resolveRef(r shape.PosRef, t int) int {
+	switch r.Kind {
+	case shape.RefPrev:
+		return t - 1
+	case shape.RefNext:
+		return t + 1
+	default:
+		return r.Index
+	}
+}
+
+// evalQuantifier scores a quantified pattern over [i, j]: occurrences are
+// maximal runs of adjacent point pairs where the pattern scores above the
+// threshold, each run scored by its merged fit (Section 5.2 "scoring
+// quantifiers"; see DESIGN.md for the run-based counting rationale). Runs
+// narrower than the perceptibility floor (Options.MinSegmentFrac) do not
+// count as occurrences — a two-point noise wiggle is not a "rise".
+func (ce *chainEval) evalQuantifier(seg *shape.Segment, i, j int) float64 {
+	v := ce.viz
+	pairScores := make([]float64, j-i)
+	for k := i; k < j; k++ {
+		slope, ok := v.rangeSlope(k, k+1)
+		if !ok {
+			pairScores[k-i] = score.WorstScore
+			continue
+		}
+		pairScores[k-i] = score.ForKind(seg.Pat.Kind, slope, seg.Pat.Slope)
+	}
+	threshold := ce.opts.QuantifierThreshold
+	minRun := int(ce.opts.MinSegmentFrac * float64(v.N()-1))
+	if minRun < 1 {
+		minRun = 1
+	}
+	runs := score.PositiveRuns(pairScores, threshold)
+	// Directional occurrences must also move perceptibly: a run that rises
+	// by a small fraction of the chart's y spread is noise, not a "rise",
+	// no matter how steep its fit.
+	minAmp := 0.0
+	if seg.Pat.Kind == shape.PatUp || seg.Pat.Kind == shape.PatDown {
+		minAmp = 0.25 * ce.ampUnit
+	}
+	runScores := make([]float64, 0, len(runs))
+	for _, run := range runs {
+		if run[1]-run[0] < minRun {
+			continue
+		}
+		if minAmp > 0 && math.Abs(v.NY[i+run[1]]-v.NY[i+run[0]]) < minAmp {
+			continue
+		}
+		slope, ok := v.rangeSlope(i+run[0], i+run[1])
+		if !ok {
+			runScores = append(runScores, score.WorstScore)
+			continue
+		}
+		runScores = append(runScores, score.ForKind(seg.Pat.Kind, slope, seg.Pat.Slope))
+	}
+	return score.Quantifier(seg.Mod, runScores, threshold)
+}
+
+// evalNested scores a nested sub-query pattern over [i, j] by segmenting
+// the range with a coarse dynamic program per alternative and returning the
+// best alternative's score.
+func (ce *chainEval) evalNested(norm shape.Normalized, i, j int) float64 {
+	best := score.WorstScore
+	for _, alt := range norm.Alternatives {
+		sub, err := compileChain(ce.viz, alt, ce.opts)
+		if err != nil {
+			continue
+		}
+		sub.skippedPrefix = ce.skippedPrefix
+		// Coarse candidate grid keeps nested evaluation near-linear.
+		stride := (j - i) / 32
+		if stride < 1 {
+			stride = 1
+		}
+		res := dpRunStride(sub, 0, len(sub.units)-1, i, j, stride)
+		if res.score > best {
+			best = res.score
+		}
+	}
+	return best
+}
+
+// scoreRanges computes the final chain score for a chosen assignment of
+// inclusive point ranges to units, resolving POSITION references exactly:
+// unit slopes are fitted first, then every unit is re-scored with
+// references bound (Design decision 4 in DESIGN.md).
+func (ce *chainEval) scoreRanges(ranges [][2]int) float64 {
+	slopes := make([]float64, len(ce.units))
+	for t := range ce.units {
+		r := ranges[t]
+		if r[1] <= r[0] {
+			return score.WorstScore
+		}
+		s, ok := ce.viz.rangeSlope(r[0], r[1])
+		if !ok {
+			s = 0
+		}
+		slopes[t] = s
+	}
+	saved := ce.refSlopes
+	ce.refSlopes = slopes
+	defer func() { ce.refSlopes = saved }()
+	var total float64
+	for t, u := range ce.chain.Units {
+		total += u.Weight * ce.unitScore(t, ranges[t][0], ranges[t][1])
+	}
+	return total
+}

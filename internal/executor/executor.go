@@ -1,0 +1,474 @@
+package executor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/dtw"
+	"shapesearch/internal/score"
+	"shapesearch/internal/shape"
+	"shapesearch/internal/topk"
+)
+
+// Algorithm selects the segmentation strategy for fuzzy queries.
+type Algorithm int
+
+const (
+	// AlgAuto picks SegmentTree for fuzzy queries (the system default).
+	AlgAuto Algorithm = iota
+	// AlgDP is the optimal O(n²k) dynamic program (Section 6.1).
+	AlgDP
+	// AlgSegmentTree is the O(nk⁴) pattern-aware segmenter (Section 6.2).
+	AlgSegmentTree
+	// AlgGreedy is the local-search baseline (Section 9).
+	AlgGreedy
+	// AlgExhaustive enumerates all segmentations; small inputs only.
+	AlgExhaustive
+	// AlgDTW ranks by Dynamic Time Warping distance to a reference
+	// trendline synthesized from the query (the VQS baseline).
+	AlgDTW
+	// AlgEuclidean ranks by z-normalized Euclidean distance to the same
+	// reference.
+	AlgEuclidean
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgDP:
+		return "dp"
+	case AlgSegmentTree:
+		return "segmenttree"
+	case AlgGreedy:
+		return "greedy"
+	case AlgExhaustive:
+		return "exhaustive"
+	case AlgDTW:
+		return "dtw"
+	case AlgEuclidean:
+		return "euclidean"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a search.
+type Options struct {
+	// Algorithm is the segmentation strategy (default AlgAuto).
+	Algorithm Algorithm
+	// K is how many top visualizations to return (default 10).
+	K int
+	// Stride is the break-point candidate granularity in points: 1
+	// considers every adjacent point boundary (the paper's b defaults to
+	// one bin per discernible pixel; stride generalizes binning width).
+	Stride int
+	// MinSegmentFrac is the minimum visual-segment width as a fraction of
+	// the trendline (default 0.05). It plays the role of the paper's
+	// binning width b tied to rendered pixels: a "trend" spanning under a
+	// few percent of the chart is imperceptible noise, and without a floor
+	// the optimal segmenter happily matches patterns against two-point
+	// noise wiggles. Set a tiny value (e.g. 1e-9) to allow arbitrarily
+	// narrow segments. When a chain has too many units for the floor, the
+	// floor relaxes to fit.
+	MinSegmentFrac float64
+	// Pushdown enables the Section 5.4 push-down optimizations.
+	Pushdown bool
+	// Pruning enables the Section 6.3 two-stage collective pruning
+	// (effective with AlgSegmentTree / AlgAuto on fuzzy queries).
+	Pruning bool
+	// Parallelism is the number of worker goroutines scoring
+	// visualizations (default 1; 0 means GOMAXPROCS).
+	Parallelism int
+	// QuantifierThreshold overrides the zero score threshold above which a
+	// sub-segment counts as a pattern occurrence.
+	QuantifierThreshold float64
+	// UDPs holds user-defined patterns referenced by the query.
+	UDPs *score.Registry
+	// SketchConfig tunes precise sketch matching.
+	SketchConfig score.SketchConfig
+	// MaxExhaustivePoints caps AlgExhaustive input size (default 64).
+	MaxExhaustivePoints int
+	// SampleSize overrides the stage-1 pruning sample (default auto).
+	SampleSize int
+	// DTWBand is the Sakoe–Chiba band half-width for AlgDTW
+	// (default −1: unconstrained).
+	DTWBand int
+}
+
+// DefaultOptions returns the system defaults.
+func DefaultOptions() Options {
+	return Options{
+		Algorithm:           AlgAuto,
+		K:                   10,
+		Stride:              1,
+		MinSegmentFrac:      0.05,
+		Pushdown:            true,
+		Parallelism:         1,
+		SketchConfig:        score.DefaultSketchConfig(),
+		MaxExhaustivePoints: 64,
+		DTWBand:             -1,
+	}
+}
+
+func (o Options) normalized() *Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Stride < 1 {
+		o.Stride = 1
+	}
+	if o.MinSegmentFrac <= 0 {
+		o.MinSegmentFrac = 0.05
+	}
+	if o.UDPs == nil {
+		o.UDPs = score.NewRegistry()
+	}
+	if o.SketchConfig.Tau <= 0 {
+		o.SketchConfig = score.DefaultSketchConfig()
+	}
+	if o.MaxExhaustivePoints <= 0 {
+		o.MaxExhaustivePoints = 64
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &o
+}
+
+// Result is one matched visualization.
+type Result struct {
+	// Z identifies the visualization (the z attribute value).
+	Z string
+	// Score is the final ShapeQuery score in [−1, 1].
+	Score float64
+	// Ranges holds the inclusive point range each chain unit matched, for
+	// the best-scoring alternative. Empty for DTW/Euclidean rankings.
+	Ranges [][2]int
+	// BreakXs are the domain-x values of the unit boundaries.
+	BreakXs []float64
+	// Series is the matched trendline's raw data.
+	Series dataset.Series
+}
+
+// Search extracts candidate visualizations from a table per the visual
+// parameters and ranks them against the query: the full EXTRACT → GROUP →
+// SEGMENT → SCORE pipeline. For non-fuzzy queries with push-down enabled,
+// LOCATION windows are pushed into EXTRACT so rows outside every referenced
+// x range are never materialized (Section 5.4 (a)/(c); the paper re-adds
+// the ignored ranges only when plotting the top-k).
+func Search(tbl *dataset.Table, spec dataset.ExtractSpec, q shape.Query, opts Options) ([]Result, error) {
+	if opts.Pushdown {
+		if pinned, all := q.XRanges(); all && len(pinned) > 0 {
+			pad := 0.0
+			for _, r := range pinned {
+				if w := (r[1] - r[0]) * 0.05; w > pad {
+					pad = w
+				}
+			}
+			spec.XRanges = padRanges(pinned, pad)
+		}
+	}
+	series, err := dataset.Extract(tbl, spec)
+	if err != nil {
+		return nil, err
+	}
+	return SearchSeries(series, q, opts)
+}
+
+// SearchSeries ranks pre-extracted series against the query.
+func SearchSeries(series []dataset.Series, q shape.Query, opts Options) ([]Result, error) {
+	o := opts.normalized()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	norm, err := shape.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Push-down (a): a pinned x window means visualizations with no data
+	// inside it can never satisfy the query; drop them at extraction.
+	pinned, allPinned := q.XRanges()
+	if o.Pushdown && len(pinned) > 0 {
+		series = filterSeriesWithData(series, pinned)
+	}
+
+	gcfg := groupConfig{zNormalize: !q.HasYConstraints()}
+	// Push-down (c): when every segment is pinned, GROUP skips summarizing
+	// the unreferenced ranges entirely.
+	if o.Pushdown && allPinned && len(pinned) > 0 {
+		gcfg.keepRanges = padRanges(pinned, xStep(series)*1.5)
+	}
+
+	switch o.Algorithm {
+	case AlgDTW, AlgEuclidean:
+		return distanceSearch(series, norm, gcfg, o)
+	}
+
+	solver, err := o.solver(norm)
+	if err != nil {
+		return nil, err
+	}
+
+	if o.Pruning && (o.Algorithm == AlgAuto || o.Algorithm == AlgSegmentTree) {
+		return searchPruned(series, norm, gcfg, o)
+	}
+
+	type scored struct {
+		res Result
+		ok  bool
+	}
+	evalOne := func(s dataset.Series) (Result, error) {
+		v := group(s, gcfg)
+		if v == nil {
+			return Result{}, nil
+		}
+		if o.Algorithm == AlgExhaustive && v.N() > o.MaxExhaustivePoints {
+			return Result{}, fmt.Errorf("executor: exhaustive search limited to %d points, series %q has %d",
+				o.MaxExhaustivePoints, s.Z, v.N())
+		}
+		sc, ranges, err := evalViz(v, norm, o, solver)
+		if err != nil {
+			return Result{}, err
+		}
+		return makeResult(v, sc, ranges), nil
+	}
+
+	results := make([]scored, len(series))
+	if o.Parallelism > 1 && len(series) > 1 {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		sem := make(chan struct{}, o.Parallelism)
+		for i := range series {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r, err := evalOne(series[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = scored{res: r, ok: r.Series.Len() > 0}
+			}(i)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	} else {
+		for i := range series {
+			r, err := evalOne(series[i])
+			if err != nil {
+				return nil, err
+			}
+			results[i] = scored{res: r, ok: r.Series.Len() > 0}
+		}
+	}
+
+	heap := topk.New[Result](o.K)
+	for _, r := range results {
+		if r.ok {
+			heap.Add(r.res.Score, r.res)
+		}
+	}
+	return collect(heap), nil
+}
+
+// solver picks the runSolver for the configured algorithm.
+func (o *Options) solver(norm shape.Normalized) (runSolver, error) {
+	switch o.Algorithm {
+	case AlgAuto, AlgSegmentTree:
+		return treeRun, nil
+	case AlgDP:
+		return dpRun, nil
+	case AlgGreedy:
+		return greedyRun, nil
+	case AlgExhaustive:
+		return exhaustiveRun, nil
+	default:
+		return nil, fmt.Errorf("executor: no segmentation solver for algorithm %v", o.Algorithm)
+	}
+}
+
+// evalViz scores one visualization: each alternative chain is segmented
+// independently and the best alternative wins (OR distributes over
+// per-alternative optimal segmentation).
+func evalViz(v *Viz, norm shape.Normalized, o *Options, solve runSolver) (float64, [][2]int, error) {
+	best := math.Inf(-1)
+	var bestRanges [][2]int
+	for _, alt := range norm.Alternatives {
+		ce, err := compileChain(v, alt, o)
+		if err != nil {
+			return 0, nil, err
+		}
+		res := solveChain(ce, solve)
+		if res.score > best {
+			best = res.score
+			bestRanges = res.ranges
+		}
+	}
+	return best, bestRanges, nil
+}
+
+func makeResult(v *Viz, sc float64, ranges [][2]int) Result {
+	r := Result{Z: v.Series.Z, Score: sc, Ranges: ranges, Series: v.Series}
+	if len(ranges) > 0 {
+		r.BreakXs = append(r.BreakXs, v.Series.X[ranges[0][0]])
+		for _, rg := range ranges {
+			r.BreakXs = append(r.BreakXs, v.Series.X[rg[1]])
+		}
+	}
+	return r
+}
+
+func collect(h *topk.Heap[Result]) []Result {
+	items := h.Sorted()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = it.Value
+	}
+	return out
+}
+
+// filterSeriesWithData keeps series that have at least one point inside
+// every pinned window (push-down (a), Section 5.4).
+func filterSeriesWithData(series []dataset.Series, ranges [][2]float64) []dataset.Series {
+	out := series[:0:0]
+	for _, s := range series {
+		keep := true
+		for _, r := range ranges {
+			found := false
+			for _, x := range s.X {
+				if x >= r[0] && x <= r[1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// xStep estimates the sampling interval of the data.
+func xStep(series []dataset.Series) float64 {
+	for _, s := range series {
+		if s.Len() >= 2 {
+			return (s.X[s.Len()-1] - s.X[0]) / float64(s.Len()-1)
+		}
+	}
+	return 1
+}
+
+// distanceSearch ranks visualizations by DTW or Euclidean distance to a
+// reference trendline synthesized from the query — the value-based matching
+// of visual query systems that Section 9 compares against.
+func distanceSearch(series []dataset.Series, norm shape.Normalized, gcfg groupConfig, o *Options) ([]Result, error) {
+	heap := topk.New[Result](o.K)
+	refs := make(map[int][]float64) // reference per length, per alternative index*1e9+len
+	for _, s := range series {
+		v := group(s, gcfg)
+		if v == nil {
+			continue
+		}
+		target := dtw.ZNormalized(v.Series.Y)
+		best := math.Inf(-1)
+		for ai, alt := range norm.Alternatives {
+			key := ai*1000000 + v.N()
+			ref, ok := refs[key]
+			if !ok {
+				ref = dtw.ZNormalized(renderReference(alt, v.N()))
+				refs[key] = ref
+			}
+			var d float64
+			if o.Algorithm == AlgDTW {
+				d = dtw.BandDistance(ref, target, o.DTWBand)
+			} else {
+				d = dtw.Euclidean(ref, target)
+			}
+			if sc := dtw.Similarity(d, v.N(), 2.0); sc > best {
+				best = sc
+			}
+		}
+		heap.Add(best, Result{Z: s.Z, Score: best, Series: s})
+	}
+	return collect(heap), nil
+}
+
+// renderReference synthesizes the piecewise-linear trendline a chain
+// describes: each unit contributes a leg at its pattern's nominal angle,
+// with width proportional to its CONCAT weight.
+func renderReference(chain shape.Chain, length int) []float64 {
+	if length < 2 {
+		return make([]float64, length)
+	}
+	ys := make([]float64, length)
+	dx := normXSpan / float64(length-1)
+	var wsum float64
+	for _, u := range chain.Units {
+		wsum += u.Weight
+	}
+	if wsum <= 0 {
+		wsum = 1
+	}
+	pos := 0
+	var y float64
+	for ui, u := range chain.Units {
+		angle := nominalAngle(u.Node)
+		slope := math.Tan(angle * math.Pi / 180)
+		end := pos + int(u.Weight/wsum*float64(length))
+		if ui == len(chain.Units)-1 || end > length {
+			end = length
+		}
+		for ; pos < end; pos++ {
+			ys[pos] = y
+			y += slope * dx
+		}
+	}
+	for ; pos < length; pos++ {
+		ys[pos] = y
+	}
+	return ys
+}
+
+// nominalAngle maps a unit's pattern to a representative angle in degrees.
+func nominalAngle(n *shape.Node) float64 {
+	switch n.Kind {
+	case shape.NodeSegment:
+		switch n.Seg.Pat.Kind {
+		case shape.PatUp:
+			return 50
+		case shape.PatDown:
+			return -50
+		case shape.PatSlope:
+			return n.Seg.Pat.Slope
+		default:
+			return 0
+		}
+	case shape.NodeNot:
+		return -nominalAngle(n.Children[0])
+	default:
+		if len(n.Children) > 0 {
+			return nominalAngle(n.Children[0])
+		}
+		return 0
+	}
+}

@@ -1,0 +1,213 @@
+package executor
+
+import (
+	"math"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/score"
+	"shapesearch/internal/shape"
+	"shapesearch/internal/topk"
+)
+
+// searchPruned implements the two-stage collective pruning of Section 6.3.
+//
+// Stage 1 scores a small, uniformly chosen sample of visualizations with a
+// coarse-grained DP (a sub-sampled candidate grid). Each coarse score is
+// achievable, hence a lower bound on that visualization's optimal score, so
+// the k-th best sampled score lower-bounds the final top-k floor.
+//
+// Stage 2 walks the SegmentTree levels bottom-up for every visualization,
+// bounding the query score from the per-level node slopes via Table 7
+// (Theorem 6.4) plus the operator boundedness of Property 5.1. A
+// visualization whose upper bound falls below the current top-k floor is
+// pruned without running the full SegmentTree.
+func searchPruned(series []dataset.Series, norm shape.Normalized, gcfg groupConfig, o *Options) ([]Result, error) {
+	heap := topk.New[Result](o.K)
+	lb := math.Inf(-1)
+
+	// Stage 1: sampled coarse lower bounds.
+	sample := o.SampleSize
+	if sample <= 0 {
+		sample = len(series) / 20
+		if sample < 10 {
+			sample = 10
+		}
+	}
+	if sample > len(series) {
+		sample = len(series)
+	}
+	if sample > 0 {
+		step := len(series) / sample
+		if step < 1 {
+			step = 1
+		}
+		stage1 := topk.New[float64](o.K)
+		for i := 0; i < len(series); i += step {
+			v := group(series[i], gcfg)
+			if v == nil {
+				continue
+			}
+			coarse := v.N() / 24
+			if coarse < 1 {
+				coarse = 1
+			}
+			sc, ok := coarseScore(v, norm, o, coarse)
+			if ok {
+				stage1.Add(sc, sc)
+			}
+		}
+		if f, ok := stage1.Floor(); ok {
+			lb = f
+		}
+	}
+
+	// Stage 2: level-wise refinement and pruning, then exact scoring.
+	pruned := 0
+	for i := range series {
+		v := group(series[i], gcfg)
+		if v == nil {
+			continue
+		}
+		if f, ok := heap.Floor(); ok && f > lb {
+			lb = f
+		}
+		if !math.IsInf(lb, -1) && upperBoundBelow(v, norm, o, lb) {
+			pruned++
+			continue
+		}
+		sc, ranges, err := evalViz(v, norm, o, treeRun)
+		if err != nil {
+			return nil, err
+		}
+		heap.Add(sc, makeResult(v, sc, ranges))
+	}
+	return collect(heap), nil
+}
+
+// coarseScore runs the DP on a sub-sampled candidate grid; the result is a
+// valid (achievable) score and therefore a lower bound.
+func coarseScore(v *Viz, norm shape.Normalized, o *Options, stride int) (float64, bool) {
+	best := math.Inf(-1)
+	for _, alt := range norm.Alternatives {
+		ce, err := compileChain(v, alt, o)
+		if err != nil {
+			return 0, false
+		}
+		res := solveChain(ce, func(ce *chainEval, t1, t2, lo, hi int) runResult {
+			return dpRunStride(ce, t1, t2, lo, hi, stride)
+		})
+		if res.score > best {
+			best = res.score
+		}
+	}
+	return best, !math.IsInf(best, -1)
+}
+
+// pruneSafetyMargin compensates for the gap in the Table 7 bound argument:
+// it assumes unit ranges are unions of whole level-i nodes, but a real
+// break can split a node, letting a unit's score exceed the bound slightly.
+// A visualization is pruned only when its upper bound trails the top-k
+// floor by more than this margin.
+const pruneSafetyMargin = 0.05
+
+// upperBoundBelow reports whether the visualization's query-score upper
+// bound, refined over successive SegmentTree levels, falls below the
+// current top-k lower bound.
+func upperBoundBelow(v *Viz, norm shape.Normalized, o *Options, lb float64) bool {
+	// Build a throwaway evaluator for the first alternative just to reuse
+	// slope machinery; level slopes depend only on the visualization.
+	ce := &chainEval{viz: v, opts: o}
+	levels := levelSlopes(ce, 0, v.N()-1)
+	if len(levels) == 0 {
+		return false
+	}
+	// Check mid-tree levels: leaf levels give very loose bounds (tiny noisy
+	// segments have extreme slopes), while near-root levels are invalid for
+	// units covering sub-ranges — the Table 7 merging argument needs unit
+	// ranges to be unions of whole nodes, so nodes must stay much smaller
+	// than a typical unit range.
+	for _, li := range []int{len(levels) / 2, (2 * len(levels)) / 3} {
+		if li < 0 || li >= len(levels) {
+			continue
+		}
+		slopes := levels[li]
+		if len(slopes) == 0 {
+			continue
+		}
+		ub := math.Inf(-1)
+		for _, alt := range norm.Alternatives {
+			var chainUB float64
+			for _, u := range alt.Units {
+				_, hi := unitBounds(u.Node, slopes)
+				chainUB += u.Weight * hi
+			}
+			if chainUB > ub {
+				ub = chainUB
+			}
+		}
+		if ub+pruneSafetyMargin < lb {
+			return true
+		}
+	}
+	return false
+}
+
+// unitBounds computes [lo, hi] bounds on a unit's score from per-level node
+// slopes: Table 7 for simple pattern segments, Property 5.1 composition for
+// operators, and the trivial [−1, 1] for constructs whose score is not
+// slope-determined (quantifiers, iterators, sketches, UDPs, references).
+func unitBounds(n *shape.Node, slopes []float64) (float64, float64) {
+	switch n.Kind {
+	case shape.NodeSegment:
+		seg := n.Seg
+		if seg.Mod.Kind == shape.ModQuantifier || seg.Loc.HasIterator() ||
+			len(seg.Sketch) > 0 || seg.Pat.Kind == shape.PatPosition ||
+			seg.Pat.Kind == shape.PatUDP || seg.Pat.Kind == shape.PatNested {
+			return score.WorstScore, score.BestScore
+		}
+		switch seg.Pat.Kind {
+		case shape.PatUp, shape.PatDown, shape.PatFlat, shape.PatSlope:
+			if seg.Mod.Kind != shape.ModNone {
+				// Sharp/gradual modifiers reshape the slope→score map;
+				// stay conservative.
+				return score.WorstScore, score.BestScore
+			}
+			return score.Bounds(seg.Pat.Kind, seg.Pat.Slope, slopes)
+		case shape.PatAny, shape.PatNone:
+			return score.BestScore, score.BestScore
+		case shape.PatEmpty:
+			return score.WorstScore, score.WorstScore
+		default:
+			return score.WorstScore, score.BestScore
+		}
+	case shape.NodeAnd:
+		lo, hi := score.BestScore, score.BestScore
+		for _, c := range n.Children {
+			clo, chi := unitBounds(c, slopes)
+			if clo < lo {
+				lo = clo
+			}
+			if chi < hi {
+				hi = chi
+			}
+		}
+		return lo, hi
+	case shape.NodeOr:
+		lo, hi := score.WorstScore, score.WorstScore
+		for _, c := range n.Children {
+			clo, chi := unitBounds(c, slopes)
+			if clo > lo {
+				lo = clo
+			}
+			if chi > hi {
+				hi = chi
+			}
+		}
+		return lo, hi
+	case shape.NodeNot:
+		clo, chi := unitBounds(n.Children[0], slopes)
+		return -chi, -clo
+	default:
+		return score.WorstScore, score.BestScore
+	}
+}

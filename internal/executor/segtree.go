@@ -1,0 +1,274 @@
+package executor
+
+import "math"
+
+// treeRun is the SegmentTree pattern-aware segmenter of Section 6.2
+// (Theorem 6.3). It builds a balanced binary tree over atomic candidate
+// gaps and computes, bottom-up at every node, the best segmentation of the
+// node's full range for every contiguous interval [a..b] of chain units.
+//
+// A parent combines child entries two ways for each split unit c:
+//
+//   - disjoint:  left[a..c] + right[c+1..b] — the break sits exactly at the
+//     child boundary; the combined score is the sum of the child scores.
+//   - shared:    left[a..c] + right[c..b] — unit c spans the boundary; its
+//     two partial visual segments merge via the additivity of summarized
+//     statistics (Theorem 5.1) and only unit c is re-scored. This is what
+//     lets break points retained in small regions survive into larger ones
+//     (the Closure assumption) at non-dyadic positions.
+//
+// Per node: O(k²) intervals × O(k) splits with O(1) rescoring plus O(k)
+// break bookkeeping = O(k⁴); O(n) nodes total gives O(nk⁴), linear in the
+// number of points.
+func treeRun(ce *chainEval, t1, t2, lo, hi int) runResult {
+	k := t2 - t1 + 1
+	// Leaves are at least the minimum segment width wide — the paper's
+	// "smallest possible VisualSegment" is a bin of width b, and the bin
+	// width doubles as the perceptibility floor.
+	stride := ce.opts.Stride
+	if s := minSpan(ce, k, lo, hi); s > stride {
+		stride = s
+	}
+	cands := candidates(lo, hi, stride)
+	// The stride grid can leave a final gap narrower than the width floor;
+	// merge it into the previous leaf so no leaf (hence no unit) violates
+	// the floor the other engines honor.
+	for len(cands) >= 3 && hi-cands[len(cands)-2] < stride {
+		cands = append(cands[:len(cands)-2], hi)
+	}
+	if len(cands) < 2 {
+		return infeasibleRun(t1, t2, lo)
+	}
+	nodes := make([]*treeNode, 0, len(cands)-1)
+	for i := 0; i+1 < len(cands); i++ {
+		nodes = append(nodes, newLeaf(ce, t1, k, cands[i], cands[i+1]))
+	}
+	for len(nodes) > 1 {
+		next := make([]*treeNode, 0, (len(nodes)+1)/2)
+		for i := 0; i+1 < len(nodes); i += 2 {
+			next = append(next, combine(ce, t1, k, nodes[i], nodes[i+1]))
+		}
+		if len(nodes)%2 == 1 {
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	root := nodes[0]
+	e := root.entry(0, k-1)
+	if e == nil {
+		return infeasibleRun(t1, t2, lo)
+	}
+	breaks := append([]int(nil), e.breaks...)
+	score := refineBreaks(ce, t1, lo, hi, stride, breaks, e.score)
+	return runResult{score: score, ranges: breaksToRanges(lo, hi, breaks)}
+}
+
+// refineBreaks polishes the SegmentTree's leaf-aligned break points on the
+// fine candidate grid: each break slides within one leaf width to the
+// position maximizing its two adjacent unit scores, respecting the width
+// floor. The search space stays a subset of the DP's, so the result never
+// exceeds the optimum; it recovers most of the resolution lost to
+// leaf-aligned breaks at negligible cost (O(k · leafWidth) unit scores).
+func refineBreaks(ce *chainEval, t1, lo, hi, leafWidth int, breaks []int, cur float64) float64 {
+	if len(breaks) == 0 {
+		return cur
+	}
+	span := minSpan(ce, len(breaks)+1, lo, hi)
+	fine := ce.opts.Stride
+	for pass := 0; pass < 2; pass++ {
+		improved := false
+		for i := range breaks {
+			left := lo
+			if i > 0 {
+				left = breaks[i-1]
+			}
+			right := hi
+			if i+1 < len(breaks) {
+				right = breaks[i+1]
+			}
+			wL := ce.chain.Units[t1+i].Weight
+			wR := ce.chain.Units[t1+i+1].Weight
+			local := func(b int) float64 {
+				return wL*ce.unitScore(t1+i, left, b) + wR*ce.unitScore(t1+i+1, b, right)
+			}
+			origS := local(breaks[i])
+			bestB, bestS := breaks[i], origS
+			loB, hiB := breaks[i]-leafWidth, breaks[i]+leafWidth
+			for b := loB; b <= hiB; b += fine {
+				if b == breaks[i] || b-left < span || right-b < span {
+					continue
+				}
+				if s := local(b); s > bestS {
+					bestB, bestS = b, s
+				}
+			}
+			if bestB != breaks[i] {
+				cur += bestS - origS
+				breaks[i] = bestB
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// treeEntry is the best segmentation of a node's full range by one
+// contiguous unit interval.
+type treeEntry struct {
+	score float64
+	// breaks are the interior unit boundaries (point indices), one fewer
+	// than the interval's unit count.
+	breaks []int
+	// firstScore and lastScore are the unweighted scores of the interval's
+	// first and last unit, needed to re-score a shared unit on merge.
+	firstScore, lastScore float64
+}
+
+type treeNode struct {
+	lo, hi int // inclusive point range
+	leaves int // number of atomic gaps underneath
+	k      int
+	// entries[a*k+b] is the best segmentation for units [a..b]; nil if
+	// infeasible or not applicable.
+	entries []*treeEntry
+}
+
+func (n *treeNode) entry(a, b int) *treeEntry { return n.entries[a*n.k+b] }
+
+func (n *treeNode) setEntry(a, b int, e *treeEntry) { n.entries[a*n.k+b] = e }
+
+// newLeaf scores every single unit over one atomic gap.
+func newLeaf(ce *chainEval, t1, k, lo, hi int) *treeNode {
+	n := &treeNode{lo: lo, hi: hi, leaves: 1, k: k, entries: make([]*treeEntry, k*k)}
+	for a := 0; a < k; a++ {
+		sc := ce.unitScore(t1+a, lo, hi)
+		w := ce.chain.Units[t1+a].Weight
+		n.setEntry(a, a, &treeEntry{score: w * sc, firstScore: sc, lastScore: sc})
+	}
+	return n
+}
+
+// combine builds the parent of two adjacent nodes.
+func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
+	p := &treeNode{lo: l.lo, hi: r.hi, leaves: l.leaves + r.leaves, k: k, entries: make([]*treeEntry, k*k)}
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			units := b - a + 1
+			// Feasibility: every unit needs at least one atomic gap.
+			if units > p.leaves {
+				continue
+			}
+			var best *treeEntry
+			for c := a; c <= b; c++ {
+				// Disjoint split: break at the child boundary.
+				if c < b {
+					le, re := l.entry(a, c), r.entry(c+1, b)
+					if le != nil && re != nil {
+						s := le.score + re.score
+						if best == nil || s > best.score {
+							breaks := make([]int, 0, units-1)
+							breaks = append(breaks, le.breaks...)
+							breaks = append(breaks, l.hi)
+							breaks = append(breaks, re.breaks...)
+							best = &treeEntry{
+								score:      s,
+								breaks:     breaks,
+								firstScore: le.firstScore,
+								lastScore:  re.lastScore,
+							}
+						}
+					}
+				}
+				// Shared unit c: merge its partial segments across the
+				// boundary and re-score only unit c.
+				le, re := l.entry(a, c), r.entry(c, b)
+				if le == nil || re == nil {
+					continue
+				}
+				w := ce.chain.Units[t1+c].Weight
+				mergedStart := l.lo
+				if len(le.breaks) > 0 {
+					mergedStart = le.breaks[len(le.breaks)-1]
+				}
+				mergedEnd := r.hi
+				if len(re.breaks) > 0 {
+					mergedEnd = re.breaks[0]
+				}
+				mergedScore := ce.unitScore(t1+c, mergedStart, mergedEnd)
+				s := le.score - w*le.lastScore + re.score - w*re.firstScore + w*mergedScore
+				if best == nil || s > best.score {
+					breaks := make([]int, 0, units-1)
+					breaks = append(breaks, le.breaks...)
+					breaks = append(breaks, re.breaks...)
+					first := le.firstScore
+					if a == c {
+						first = mergedScore
+					}
+					last := re.lastScore
+					if b == c {
+						last = mergedScore
+					}
+					best = &treeEntry{score: s, breaks: breaks, firstScore: first, lastScore: last}
+				}
+			}
+			if best != nil && best.score > -math.MaxFloat64 {
+				p.setEntry(a, b, best)
+			}
+		}
+	}
+	return p
+}
+
+// breaksToRanges converts interior break positions into per-unit inclusive
+// ranges (adjacent units share the break point).
+func breaksToRanges(lo, hi int, breaks []int) [][2]int {
+	ranges := make([][2]int, 0, len(breaks)+1)
+	start := lo
+	for _, b := range breaks {
+		ranges = append(ranges, [2]int{start, b})
+		start = b
+	}
+	ranges = append(ranges, [2]int{start, hi})
+	return ranges
+}
+
+// levelSlopes returns, for each SegmentTree level from the leaves upward,
+// the fitted slopes of every node range at that level. The two-stage
+// pruning uses these with the Table 7 bounds. Levels with a single node
+// stop the ladder (that node is the root).
+func levelSlopes(ce *chainEval, lo, hi int) [][]float64 {
+	cands := candidates(lo, hi, ce.opts.Stride)
+	if len(cands) < 2 {
+		return nil
+	}
+	type rng struct{ lo, hi int }
+	cur := make([]rng, 0, len(cands)-1)
+	for i := 0; i+1 < len(cands); i++ {
+		cur = append(cur, rng{cands[i], cands[i+1]})
+	}
+	var levels [][]float64
+	for {
+		slopes := make([]float64, 0, len(cur))
+		for _, r := range cur {
+			if s, ok := ce.viz.rangeSlope(r.lo, r.hi); ok {
+				slopes = append(slopes, s)
+			}
+		}
+		levels = append(levels, slopes)
+		if len(cur) == 1 {
+			break
+		}
+		next := make([]rng, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, rng{cur[i].lo, cur[i+1].hi})
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return levels
+}

@@ -1,0 +1,164 @@
+// Package executor implements ShapeSearch's pattern-matching engine
+// (Sections 5 and 6 of the paper): the pipelined EXTRACT → GROUP → SEGMENT
+// → SCORE execution model, the optimal dynamic-programming segmenter, the
+// SegmentTree pattern-aware segmenter, the greedy and exhaustive baselines,
+// DTW/Euclidean baselines, push-down optimizations, and two-stage
+// collective pruning.
+package executor
+
+import (
+	"math"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/segstat"
+)
+
+// normXSpan is the width of the normalized chart space: the full x range of
+// every candidate visualization maps to [0, normXSpan] while y is z-scored
+// to unit variance. With span 4, a steady rise across the whole chart from
+// −1.7σ to +1.7σ fits a ~40° line — matching how the trend reads on a
+// rendered chart, which is what the paper's perceptual scores assume.
+const normXSpan = 4.0
+
+// Viz is one candidate visualization after the GROUP operator: the raw
+// series plus normalized coordinates and prefix summarized statistics that
+// allow O(1) least-squares fits over any point range (Theorem 5.1).
+type Viz struct {
+	Series dataset.Series
+	// NX and NY are the normalized coordinates the fits run on.
+	NX, NY []float64
+	// Prefix[i] summarizes normalized points [0, i).
+	Prefix segstat.Prefix
+	// Skipped marks point indices the GROUP operator did not summarize
+	// because no query range references them (push-down (c), Section 5.4).
+	// Fits touching skipped points are invalid; nil means none skipped.
+	Skipped []bool
+}
+
+// N reports the number of points.
+func (v *Viz) N() int { return len(v.NX) }
+
+// groupConfig controls the GROUP operator.
+type groupConfig struct {
+	// zNormalize applies z-score normalization to y (disabled when the
+	// query constrains y values, Section 5.3).
+	zNormalize bool
+	// keepRanges, when non-nil, lists the domain-x windows the query
+	// references; points outside all windows are marked skipped
+	// (push-down (c)). Nil keeps everything.
+	keepRanges [][2]float64
+}
+
+// group builds a Viz from a series (the GROUP physical operator). Series
+// with fewer than two points yield a nil Viz — they cannot host any fit.
+func group(s dataset.Series, cfg groupConfig) *Viz {
+	n := s.Len()
+	if n < 2 {
+		return nil
+	}
+	v := &Viz{Series: s}
+	v.NX = make([]float64, n)
+	v.NY = make([]float64, n)
+	xmin, xmax := s.X[0], s.X[n-1]
+	span := xmax - xmin
+	if span <= 0 {
+		span = 1
+	}
+	for i := 0; i < n; i++ {
+		v.NX[i] = (s.X[i] - xmin) / span * normXSpan
+	}
+	copy(v.NY, s.Y)
+	if cfg.zNormalize {
+		segstat.ZNormalize(v.NY)
+	}
+	if cfg.keepRanges != nil {
+		v.Skipped = make([]bool, n)
+		for i := 0; i < n; i++ {
+			v.Skipped[i] = !xInRanges(s.X[i], cfg.keepRanges)
+		}
+	}
+	bins := make([]segstat.Stats, n)
+	for i := 0; i < n; i++ {
+		if v.Skipped != nil && v.Skipped[i] {
+			continue // contributes empty stats; fits over skipped points are invalid anyway
+		}
+		var b segstat.Stats
+		b.Add(v.NX[i], v.NY[i])
+		bins[i] = b
+	}
+	v.Prefix = segstat.BuildPrefix(bins)
+	return v
+}
+
+// rangeStats returns the summarized statistics of inclusive point range
+// [i, j].
+func (v *Viz) rangeStats(i, j int) segstat.Stats {
+	return v.Prefix.Range(i, j+1)
+}
+
+// rangeSlope returns the least-squares slope over inclusive point range
+// [i, j] in normalized coordinates; degenerate ranges report ok=false.
+func (v *Viz) rangeSlope(i, j int) (float64, bool) {
+	return v.rangeStats(i, j).Slope()
+}
+
+// indexOfX maps a domain x value to the nearest point index at or after it.
+func (v *Viz) indexOfX(x float64) int {
+	xs := v.Series.X
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(xs) {
+		return len(xs) - 1
+	}
+	return lo
+}
+
+// indexAtOrBefore maps a domain x value to the nearest point index at or
+// before it.
+func (v *Viz) indexAtOrBefore(x float64) int {
+	i := v.indexOfX(x)
+	if i > 0 && v.Series.X[i] > x {
+		return i - 1
+	}
+	return i
+}
+
+func xInRanges(x float64, ranges [][2]float64) bool {
+	for _, r := range ranges {
+		if x >= r[0] && x <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// padRanges widens each domain window slightly so boundary points survive
+// rounding when the GROUP skip-mask is applied.
+func padRanges(ranges [][2]float64, pad float64) [][2]float64 {
+	out := make([][2]float64, len(ranges))
+	for i, r := range ranges {
+		out[i] = [2]float64{r[0] - pad, r[1] + pad}
+	}
+	return out
+}
+
+// yRange reports the min and max of the raw y values.
+func (v *Viz) yRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, y := range v.Series.Y {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,251 @@
+package executor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/regexlang"
+	"shapesearch/internal/shape"
+)
+
+func TestGroupSkipRanges(t *testing.T) {
+	s := mkSeries("a", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	v := group(s, groupConfig{zNormalize: true, keepRanges: [][2]float64{{3, 6}}})
+	if v.Skipped == nil {
+		t.Fatal("expected skip mask")
+	}
+	for i, skipped := range v.Skipped {
+		x := s.X[i]
+		want := x < 3 || x > 6
+		if skipped != want {
+			t.Fatalf("point %d (x=%v) skipped=%v, want %v", i, x, skipped, want)
+		}
+	}
+	// A fit over skipped points must be rejected by the evaluator.
+	q := regexlang.MustParse("[p=up]")
+	norm, _ := shape.Normalize(q)
+	o := seqOpts().normalized()
+	ce, err := compileChain(v, norm.Alternatives[0], o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc := ce.unitScore(0, 0, 9); sc != -1 {
+		t.Fatalf("fit over skipped points = %v, want -1", sc)
+	}
+	if sc := ce.unitScore(0, 3, 6); sc <= 0 {
+		t.Fatalf("fit inside kept range = %v, want positive", sc)
+	}
+}
+
+// TestGroupNormalizedSlopeInvariance: after normalization, the fitted slope
+// over the full chart is invariant to affine transforms of y and to the
+// absolute x scale — the property that makes θ=45° mean the same thing on
+// every chart.
+func TestGroupNormalizedSlopeInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(50)
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = float64(i) + r.NormFloat64()
+		}
+		base := mkSeries("a", ys...)
+		scaled := dataset.Series{Z: "b", X: make([]float64, n), Y: make([]float64, n)}
+		a := 0.5 + r.Float64()*20
+		bOff := r.NormFloat64() * 100
+		for i := range ys {
+			scaled.X[i] = base.X[i]*37 + 5 // different x units
+			scaled.Y[i] = a*ys[i] + bOff   // affine y
+		}
+		v1 := group(base, groupConfig{zNormalize: true})
+		v2 := group(scaled, groupConfig{zNormalize: true})
+		s1, ok1 := v1.rangeSlope(0, n-1)
+		s2, ok2 := v2.rangeSlope(0, n-1)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return math.Abs(s1-s2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitBoundsComposition(t *testing.T) {
+	slopes := []float64{-1, 0.5, 2}
+	up := shape.PatternSeg(shape.PatUp)
+	down := shape.PatternSeg(shape.PatDown)
+	lo, hi := unitBounds(up, slopes)
+	if lo >= hi {
+		t.Fatalf("up bounds [%v, %v]", lo, hi)
+	}
+	// AND bounds: min composition.
+	alo, ahi := unitBounds(shape.And(up, down), slopes)
+	ulo, uhi := unitBounds(up, slopes)
+	dlo, dhi := unitBounds(down, slopes)
+	if ahi != math.Min(uhi, dhi) || alo != math.Min(ulo, dlo) {
+		t.Fatalf("AND bounds [%v, %v]", alo, ahi)
+	}
+	// OR bounds: max composition.
+	olo, ohi := unitBounds(shape.Or(up, down), slopes)
+	if ohi != math.Max(uhi, dhi) || olo != math.Max(ulo, dlo) {
+		t.Fatalf("OR bounds [%v, %v]", olo, ohi)
+	}
+	// NOT flips and negates.
+	nlo, nhi := unitBounds(shape.Not(up), slopes)
+	if nlo != -uhi || nhi != -ulo {
+		t.Fatalf("NOT bounds [%v, %v]", nlo, nhi)
+	}
+	// Quantifiers and sketches are conservatively unbounded.
+	quant := shape.Seg(shape.Segment{Pat: shape.Pattern{Kind: shape.PatUp},
+		Mod: shape.Modifier{Kind: shape.ModQuantifier, Min: 2, HasMin: true}})
+	qlo, qhi := unitBounds(quant, slopes)
+	if qlo != -1 || qhi != 1 {
+		t.Fatalf("quantifier bounds [%v, %v]", qlo, qhi)
+	}
+}
+
+// TestUpperBoundSoundOnCleanData: the level-bound upper estimate must not
+// fall below the SegmentTree's actual score (otherwise pruning would drop
+// true positives).
+func TestUpperBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	o := seqOpts().normalized()
+	q := regexlang.MustParse("u ; d")
+	norm, _ := shape.Normalize(q)
+	violations := 0
+	trials := 0
+	for i := 0; i < 60; i++ {
+		v := group(randomSeries(rng, 64), groupConfig{zNormalize: true})
+		ce, err := compileChain(v, norm.Alternatives[0], o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := solveChain(ce, treeRun)
+		levels := levelSlopes(&chainEval{viz: v, opts: o}, 0, v.N()-1)
+		for _, li := range []int{len(levels) / 2, (2 * len(levels)) / 3} {
+			if li < 0 || li >= len(levels) || len(levels[li]) == 0 {
+				continue
+			}
+			var ub float64
+			for _, u := range norm.Alternatives[0].Units {
+				_, hi := unitBounds(u.Node, levels[li])
+				ub += u.Weight * hi
+			}
+			trials++
+			// Pruning compares against ub + pruneSafetyMargin; that
+			// margined bound is what must hold.
+			if ub+pruneSafetyMargin < res.score-1e-9 {
+				violations++
+			}
+		}
+	}
+	if trials == 0 {
+		t.Skip("no bound trials")
+	}
+	// The Table 7 bound argument assumes unit ranges are unions of whole
+	// nodes; real breaks split nodes, so rare small violations can occur
+	// even with the safety margin. They must stay rare or pruning would
+	// visibly hurt accuracy.
+	if rate := float64(violations) / float64(trials); rate > 0.05 {
+		t.Fatalf("margined bound violated in %.1f%% of trials", rate*100)
+	}
+}
+
+func TestRenderReference(t *testing.T) {
+	q := regexlang.MustParse("u ; d")
+	norm, _ := shape.Normalize(q)
+	ref := renderReference(norm.Alternatives[0], 40)
+	if len(ref) != 40 {
+		t.Fatalf("len = %d", len(ref))
+	}
+	maxAt := 0
+	for i, y := range ref {
+		if y > ref[maxAt] {
+			maxAt = i
+		}
+	}
+	if maxAt < 15 || maxAt > 25 {
+		t.Fatalf("peak at %d, want ~20", maxAt)
+	}
+	if out := renderReference(norm.Alternatives[0], 1); len(out) != 1 {
+		t.Fatal("degenerate length")
+	}
+}
+
+func TestNominalAngle(t *testing.T) {
+	if a := nominalAngle(shape.PatternSeg(shape.PatUp)); a != 50 {
+		t.Fatalf("up angle = %v", a)
+	}
+	if a := nominalAngle(shape.Not(shape.PatternSeg(shape.PatUp))); a != -50 {
+		t.Fatalf("not-up angle = %v", a)
+	}
+	if a := nominalAngle(shape.SlopeSeg(33)); a != 33 {
+		t.Fatalf("slope angle = %v", a)
+	}
+	if a := nominalAngle(shape.Or(shape.PatternSeg(shape.PatDown), shape.PatternSeg(shape.PatUp))); a != -50 {
+		t.Fatalf("or angle = %v (first branch)", a)
+	}
+}
+
+func TestMinSpanRelaxes(t *testing.T) {
+	s := mkSeries("a", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+	v := group(s, groupConfig{zNormalize: true})
+	o := seqOpts().normalized()
+	o.MinSegmentFrac = 0.5 // absurd floor: 5-6 points per unit
+	q := regexlang.MustParse("u ; d ; u ; d")
+	norm, _ := shape.Normalize(q)
+	ce, err := compileChain(v, norm.Alternatives[0], o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four units over 11 gaps cannot all span 5: the floor must relax so a
+	// segmentation still exists.
+	if got := minSpan(ce, 4, 0, 11); got > 2 {
+		t.Fatalf("minSpan = %d, want relaxed <= 2", got)
+	}
+	res := solveChain(ce, dpRun)
+	if res.score == -1 {
+		t.Fatal("relaxed floor should keep the query feasible")
+	}
+}
+
+func TestFilterSeriesWithData(t *testing.T) {
+	near := mkSeries("near", 1, 2, 3)
+	far := mkSeries("far", 1, 2, 3)
+	for i := range far.X {
+		far.X[i] += 100
+	}
+	out := filterSeriesWithData([]dataset.Series{near, far}, [][2]float64{{0, 5}})
+	if len(out) != 1 || out[0].Z != "near" {
+		t.Fatalf("out = %+v", out)
+	}
+	// Two windows: must have data in both.
+	out = filterSeriesWithData([]dataset.Series{near, far}, [][2]float64{{0, 5}, {100, 105}})
+	if len(out) != 0 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestSearchPrunedMatchesPlainOnSearch(t *testing.T) {
+	series := peakValleySeries()
+	q := regexlang.MustParse("u ; d")
+	plain := seqOpts()
+	plain.Algorithm = AlgSegmentTree
+	pruned := plain
+	pruned.Pruning = true
+	a, err := SearchSeries(series, q, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SearchSeries(series, q, pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || a[0].Z != b[0].Z {
+		t.Fatalf("pruned top mismatch: %v vs %v", a[0].Z, b[0].Z)
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Quick: true, Trials: 1, K: 5} }
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"A", "Blong"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"## x — demo", "| A ", "| Blong |", "| 333 |", "> note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeIt(t *testing.T) {
+	calls := 0
+	mean, min, max := timeIt(3, func() {
+		calls++
+		time.Sleep(time.Millisecond)
+	})
+	if calls != 4 { // warm-up + 3 trials
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if mean < time.Millisecond || min > max || mean > max {
+		t.Fatalf("mean %v min %v max %v", mean, min, max)
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestTaskSuitesStructure(t *testing.T) {
+	tasks := taskSuites(tiny())
+	if len(tasks) != 7 {
+		t.Fatalf("tasks = %d, want 7 (Table 10)", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, tk := range tasks {
+		seen[tk.id] = true
+		if len(tk.series) == 0 || len(tk.truth) == 0 || len(tk.reference) == 0 {
+			t.Errorf("task %s incomplete", tk.id)
+		}
+		// Ground truth must be a subset of the series.
+		zs := map[string]bool{}
+		for _, s := range tk.series {
+			if zs[s.Z] {
+				t.Errorf("task %s has duplicate series id %s", tk.id, s.Z)
+			}
+			zs[s.Z] = true
+		}
+		for z := range tk.truth {
+			if !zs[z] {
+				t.Errorf("task %s truth id %s not in series", tk.id, z)
+			}
+		}
+	}
+	for _, id := range []string{"ET", "SQ", "SP", "WS", "MXY", "TC", "CS"} {
+		if !seen[id] {
+			t.Errorf("missing task %s", id)
+		}
+	}
+}
+
+func TestTable8AndFig9(t *testing.T) {
+	cfg := tiny()
+	t8 := Table8(cfg)
+	if len(t8.Rows) != 2 {
+		t.Fatalf("table8 rows = %d", len(t8.Rows))
+	}
+	ss, err := strconv.ParseFloat(t8.Rows[1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim: ShapeSearch accuracy is high on these tasks.
+	if ss < 75 {
+		t.Errorf("ShapeSearch accuracy = %v, want >= 75", ss)
+	}
+	f9a := Fig9a(cfg)
+	if len(f9a.Rows) != 7 {
+		t.Fatalf("fig9a rows = %d", len(f9a.Rows))
+	}
+	f9b := Fig9b(cfg)
+	if len(f9b.Rows) != 7 {
+		t.Fatalf("fig9b rows = %d", len(f9b.Rows))
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	truth := map[string]bool{"a": true, "b": true}
+	if p := precisionAt([]string{"a", "b", "c"}, truth); p != 100 {
+		t.Errorf("precision = %v", p)
+	}
+	if p := precisionAt([]string{"a", "c", "b"}, truth); p != 50 {
+		t.Errorf("precision = %v", p)
+	}
+	if p := precisionAt(nil, truth); p != 0 {
+		t.Errorf("precision = %v", p)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	truth := map[string]float64{"a": 1.0, "b": 0.8, "c": 0.6, "d": 0.4}
+	dpRank := []string{"a", "b", "c", "d"}
+	acc, dev := topKOverlap(dpRank, []string{"a", "b", "c", "d"}, truth, 2)
+	if acc != 100 || dev != 0 {
+		t.Fatalf("acc %v dev %v", acc, dev)
+	}
+	acc, dev = topKOverlap(dpRank, []string{"a", "d", "c", "b"}, truth, 2)
+	if acc != 50 {
+		t.Fatalf("acc = %v", acc)
+	}
+	// Deviation: DP 2nd = b (0.8); alg 2nd = d (0.4) → 50%.
+	if dev != 50 {
+		t.Fatalf("dev = %v", dev)
+	}
+}
+
+func TestFig11RunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := Fig11(tiny())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("fig11 rows = %d, want 5 datasets", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != 4 {
+			t.Fatalf("row = %v", row)
+		}
+	}
+}
+
+func TestCRFQualityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := CRFQuality(tiny())
+	f1Row := tbl.Rows[2]
+	f1, err := strconv.ParseFloat(f1Row[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 < 70 {
+		t.Errorf("F1 = %v, want >= 70", f1)
+	}
+}
+
+func TestTable11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := Table11(tiny())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Every query must have at least a handful of positive matches even in
+	// the 4× subsample (the paper's ≥20 criterion scaled).
+	for _, row := range tbl.Rows {
+		for _, c := range strings.Split(row[4], " / ") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				t.Fatalf("bad count %q", c)
+			}
+			if n < 5 {
+				t.Errorf("dataset %s query matched only %d positives", row[0], n)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/executor"
+	"shapesearch/internal/gen"
+	"shapesearch/internal/regexlang"
+	"shapesearch/internal/shape"
+)
+
+// evalSet is one prepared dataset: extracted series plus its queries.
+type evalSet struct {
+	name     string
+	table    *dataset.Table
+	spec     dataset.ExtractSpec
+	series   []dataset.Series
+	fuzzy    []shape.Query
+	nonFuzzy shape.Query
+}
+
+// prepare extracts the five Table 11 dataset substitutes, subsampling the
+// visualization collections in Quick mode.
+func prepare(cfg Config) []evalSet {
+	var sets []evalSet
+	for _, ds := range gen.EvalDatasets() {
+		series, err := dataset.Extract(ds.Table, ds.Spec)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: extracting %s: %v", ds.Name, err))
+		}
+		if cfg.Quick {
+			series = subsample(series, 4)
+		}
+		set := evalSet{name: ds.Name, table: ds.Table, spec: ds.Spec, series: series}
+		for _, q := range ds.FuzzyQueries {
+			set.fuzzy = append(set.fuzzy, regexlang.MustParse(q))
+		}
+		set.nonFuzzy = regexlang.MustParse(ds.NonFuzzyQuery)
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+func subsample(series []dataset.Series, factor int) []dataset.Series {
+	if factor <= 1 {
+		return series
+	}
+	out := make([]dataset.Series, 0, len(series)/factor+1)
+	for i := 0; i < len(series); i += factor {
+		out = append(out, series[i])
+	}
+	return out
+}
+
+// algorithmsUnderTest is the Figure 10 lineup.
+func algorithmsUnderTest() []struct {
+	name string
+	opts func(executor.Options) executor.Options
+} {
+	return []struct {
+		name string
+		opts func(executor.Options) executor.Options
+	}{
+		{"DP", func(o executor.Options) executor.Options { o.Algorithm = executor.AlgDP; return o }},
+		{"DTW", func(o executor.Options) executor.Options { o.Algorithm = executor.AlgDTW; return o }},
+		{"Greedy", func(o executor.Options) executor.Options { o.Algorithm = executor.AlgGreedy; return o }},
+		{"SegmentTree", func(o executor.Options) executor.Options { o.Algorithm = executor.AlgSegmentTree; return o }},
+		{"SegmentTree+Pruning", func(o executor.Options) executor.Options {
+			o.Algorithm = executor.AlgSegmentTree
+			o.Pruning = true
+			return o
+		}},
+	}
+}
+
+func baseOptions(cfg Config) executor.Options {
+	o := executor.DefaultOptions()
+	o.K = cfg.K
+	o.Parallelism = 1 // isolate algorithmic cost, as the paper's runtimes do
+	return o
+}
+
+// Fig10 reproduces Figure 10: average running time of each algorithm over
+// the fuzzy queries of each dataset (error bounds are the min/max across
+// queries and trials).
+func Fig10(cfg Config) Table {
+	cfg = cfg.normalized()
+	t := Table{
+		ID:     "fig10",
+		Title:  "Average running time per fuzzy query (seconds)",
+		Header: []string{"Dataset", "Algorithm", "Mean (s)", "Min (s)", "Max (s)"},
+	}
+	for _, set := range prepare(cfg) {
+		for _, alg := range algorithmsUnderTest() {
+			opts := alg.opts(baseOptions(cfg))
+			var mean, min, max time.Duration
+			min = time.Duration(1<<63 - 1)
+			var total time.Duration
+			n := 0
+			for _, q := range set.fuzzy {
+				m, lo, hi := timeIt(cfg.Trials, func() {
+					if _, err := executor.SearchSeries(set.series, q, opts); err != nil {
+						panic(err)
+					}
+				})
+				total += m
+				n++
+				if lo < min {
+					min = lo
+				}
+				if hi > max {
+					max = hi
+				}
+			}
+			mean = total / time.Duration(n)
+			t.Rows = append(t.Rows, []string{set.name, alg.name, seconds(mean), seconds(min), seconds(max)})
+		}
+	}
+	if cfg.Quick {
+		t.Notes = append(t.Notes, "quick mode: visualization collections subsampled 4×")
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (paper): SegmentTree 2–40× faster than DP; pruning adds 10–30%; Greedy fastest; DTW between SegmentTree and DP")
+	return t
+}
+
+// Fig11 reproduces Figure 11: end-to-end non-fuzzy query runtime (EXTRACT
+// through SCORE) with and without the push-down optimizations of Section
+// 5.4. Push-down (a)/(c) prunes rows outside referenced x windows at
+// EXTRACT, so the pipeline never materializes or summarizes them.
+func Fig11(cfg Config) Table {
+	cfg = cfg.normalized()
+	t := Table{
+		ID:     "fig11",
+		Title:  "End-to-end non-fuzzy query runtime before/after push-down (seconds)",
+		Header: []string{"Dataset", "Without push-down (s)", "With push-down (s)", "Speed-up"},
+	}
+	for _, set := range prepare(cfg) {
+		on := baseOptions(cfg)
+		off := baseOptions(cfg)
+		off.Pushdown = false
+		q := set.nonFuzzy
+		run := func(opts executor.Options) time.Duration {
+			mean, _, _ := timeIt(cfg.Trials, func() {
+				if _, err := executor.Search(set.table, set.spec, q, opts); err != nil {
+					panic(err)
+				}
+			})
+			return mean
+		}
+		dOff := run(off)
+		dOn := run(on)
+		speedup := float64(dOff) / float64(dOn)
+		t.Rows = append(t.Rows, []string{set.name, seconds(dOff), seconds(dOn), fmt.Sprintf("%.2fx", speedup)})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (paper): push-down reduces runtime in proportion to LOCATION selectivity (e.g. Haptics 3s → <1.2s)")
+	return t
+}
+
+// Fig13a reproduces Figure 13a: runtime vs trendline length on Worms
+// prefixes, query u⊗d⊗u⊗d.
+func Fig13a(cfg Config) Table {
+	cfg = cfg.normalized()
+	worms := gen.Worms()
+	series, err := dataset.Extract(worms.Table, worms.Spec)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.Quick {
+		series = subsample(series, 4)
+	}
+	q := regexlang.MustParse("u ; d ; u ; d")
+	t := Table{
+		ID:     "fig13a",
+		Title:  "Runtime vs points per trendline (Worms prefixes, u⊗d⊗u⊗d)",
+		Header: []string{"Points", "DP (s)", "SegmentTree (s)", "SegmentTree+Pruning (s)"},
+	}
+	lengths := []int{50, 100, 200, 300, 400, 500, 600, 700, 800, 900}
+	if cfg.Quick {
+		lengths = []int{50, 100, 300, 500, 900}
+	}
+	for _, n := range lengths {
+		prefixes := make([]dataset.Series, len(series))
+		for i, s := range series {
+			m := n
+			if m > s.Len() {
+				m = s.Len()
+			}
+			prefixes[i] = dataset.Series{Z: s.Z, X: s.X[:m], Y: s.Y[:m]}
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range []struct {
+			a       executor.Algorithm
+			pruning bool
+		}{{executor.AlgDP, false}, {executor.AlgSegmentTree, false}, {executor.AlgSegmentTree, true}} {
+			opts := baseOptions(cfg)
+			opts.Algorithm = alg.a
+			opts.Pruning = alg.pruning
+			mean, _, _ := timeIt(cfg.Trials, func() {
+				if _, err := executor.SearchSeries(prefixes, q, opts); err != nil {
+					panic(err)
+				}
+			})
+			row = append(row, seconds(mean))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (paper): DP grows quadratically in points, SegmentTree linearly; they cross near ~100 points")
+	return t
+}
+
+// Fig13b reproduces Figure 13b: runtime vs number of ShapeSegments on
+// Weather, alternating up/down chains of length 2–6.
+func Fig13b(cfg Config) Table {
+	cfg = cfg.normalized()
+	weather := gen.Weather()
+	series, err := dataset.Extract(weather.Table, weather.Spec)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.Quick {
+		series = subsample(series, 4)
+	}
+	t := Table{
+		ID:     "fig13b",
+		Title:  "Runtime vs ShapeSegments in the query (Weather, alternating u/d)",
+		Header: []string{"Segments", "DP (s)", "SegmentTree (s)", "SegmentTree+Pruning (s)"},
+	}
+	for k := 2; k <= 6; k++ {
+		parts := make([]string, k)
+		for i := range parts {
+			if i%2 == 0 {
+				parts[i] = "u"
+			} else {
+				parts[i] = "d"
+			}
+		}
+		q := regexlang.MustParse(joinWith(parts, " ; "))
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, alg := range []struct {
+			a       executor.Algorithm
+			pruning bool
+		}{{executor.AlgDP, false}, {executor.AlgSegmentTree, false}, {executor.AlgSegmentTree, true}} {
+			opts := baseOptions(cfg)
+			opts.Algorithm = alg.a
+			opts.Pruning = alg.pruning
+			mean, _, _ := timeIt(cfg.Trials, func() {
+				if _, err := executor.SearchSeries(series, q, opts); err != nil {
+					panic(err)
+				}
+			})
+			row = append(row, seconds(mean))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (paper): SegmentTree cost grows faster in k (k⁴) than DP (k), but DP's n² term keeps it slower overall on 366-point trendlines")
+	return t
+}
+
+// Fig13c reproduces Figure 13c: runtime vs number of visualizations on
+// Real Estate subsets, query u⊗d⊗u⊗d.
+func Fig13c(cfg Config) Table {
+	cfg = cfg.normalized()
+	estate := gen.RealEstate()
+	series, err := dataset.Extract(estate.Table, estate.Spec)
+	if err != nil {
+		panic(err)
+	}
+	q := regexlang.MustParse("u ; d ; u ; d")
+	t := Table{
+		ID:     "fig13c",
+		Title:  "Runtime vs number of visualizations (Real Estate, u⊗d⊗u⊗d)",
+		Header: []string{"Visualizations", "DP (s)", "SegmentTree (s)", "SegmentTree+Pruning (s)"},
+	}
+	counts := []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	if cfg.Quick {
+		counts = []int{100, 300, 500, 1000}
+	}
+	for _, n := range counts {
+		if n > len(series) {
+			n = len(series)
+		}
+		sub := series[:n]
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range []struct {
+			a       executor.Algorithm
+			pruning bool
+		}{{executor.AlgDP, false}, {executor.AlgSegmentTree, false}, {executor.AlgSegmentTree, true}} {
+			opts := baseOptions(cfg)
+			opts.Algorithm = alg.a
+			opts.Pruning = alg.pruning
+			mean, _, _ := timeIt(cfg.Trials, func() {
+				if _, err := executor.SearchSeries(sub, q, opts); err != nil {
+					panic(err)
+				}
+			})
+			row = append(row, seconds(mean))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (paper): all approaches scale linearly with collection size; the gap between SegmentTree and SegmentTree+Pruning widens as more visualizations can be pruned")
+	return t
+}
+
+func joinWith(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

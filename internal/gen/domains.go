@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"shapesearch/internal/dataset"
+)
+
+// Genes synthesizes a gene-expression dataset in the style of the paper's
+// genomics case study (Section 8): columns gene, hour, expression. Besides
+// generic profiles it plants the named genes the study discusses — gbx2,
+// klf5 and spry4 rise at ~45° and stay high (stem-cell self-renewal), and
+// pvt1 shows two sharp peaks within a short window (the outlier R1 found).
+func Genes(numGenes, timePoints int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	profiles := []Template{
+		T("suppressed", 50, 1, -55, 1.2, 50, 1),    // up, down, up: drug suppression
+		T("stimulus", 2, 1, 70, 0.4, -35, 1.6),     // stable, sudden rise, gradual fall
+		T("self-renewal", 45, 1, 2, 1.2),           // rise at 45°, stay high
+		T("differentiating", -45, 1, -2, 1.2),      // start high, fall, stay low
+		T("early-reg", 60, 0.4, -50, 0.6, -2, 2),   // early spike then quiet
+		T("late-reg", -2, 2, 55, 0.7),              // quiet then late rise
+		T("cycling", 50, 1, -50, 1, 50, 1, -50, 1), // periodic regulation
+		T("stable", 2, 1),
+	}
+	var zs []string
+	var xs, ys []float64
+	emit := func(name string, tpl Template, noise float64) {
+		trend := RenderTemplate(tpl, timePoints, rng)
+		amp := amplitude(trend)
+		if amp == 0 {
+			amp = 1
+		}
+		for i := 0; i < timePoints; i++ {
+			zs = append(zs, name)
+			xs = append(xs, float64(i))
+			ys = append(ys, 2+trend[i]+rng.NormFloat64()*noise*amp)
+		}
+	}
+	emit("gbx2", profiles[2], 0.04)
+	emit("klf5", profiles[2], 0.05)
+	emit("spry4", profiles[2], 0.06)
+	// pvt1: two sharp peaks within a short window.
+	emit("pvt1", T("double-peak", 1, 1.5, 72, 0.5, -72, 0.5, 72, 0.5, -72, 0.5, 1, 1.5), 0.03)
+	for g := 4; g < numGenes; g++ {
+		tpl := profiles[g%len(profiles)]
+		emit(fmt.Sprintf("gene%04d", g), tpl, 0.05+rng.Float64()*0.05)
+	}
+	tbl, err := dataset.New(
+		dataset.Column{Name: "gene", Type: dataset.String, Strings: zs},
+		dataset.Column{Name: "hour", Type: dataset.Float, Floats: xs},
+		dataset.Column{Name: "expression", Type: dataset.Float, Floats: ys},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
+// Stocks synthesizes a stock price dataset: columns symbol, day, price.
+// It plants the technical patterns the paper's introduction motivates:
+// double tops, triple tops, head-and-shoulders, W-shapes and cups.
+func Stocks(numStocks, days int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	patterns := []Template{
+		T("double-top", 55, 1, -50, 0.8, 50, 0.8, -55, 1),
+		T("triple-top", 55, 1, -45, 0.7, 45, 0.7, -45, 0.7, 45, 0.7, -55, 1),
+		T("head-shoulders", 45, 1, -35, 0.6, 65, 0.8, -65, 0.8, 35, 0.6, -45, 1),
+		T("w-shape", -55, 1, 50, 0.8, -50, 0.8, 55, 1),
+		T("cup", -40, 1, -10, 0.8, 10, 0.8, 40, 1),
+		T("bull", 45, 1),
+		T("bear", -45, 1),
+		T("recovery", -55, 1, 55, 1.4),
+		T("plateau", 50, 1, 2, 1.5),
+		T("choppy", 30, 1, -30, 1, 30, 1, -30, 1),
+	}
+	var zs []string
+	var xs, ys []float64
+	for s := 0; s < numStocks; s++ {
+		tpl := patterns[s%len(patterns)]
+		sym := fmt.Sprintf("%s%03d", tickerPrefix(tpl.Name), s)
+		trend := RenderTemplate(tpl, days, rng)
+		amp := amplitude(trend)
+		if amp == 0 {
+			amp = 1
+		}
+		base := 20 + rng.Float64()*200
+		scale := base * 0.3 / amp
+		for i := 0; i < days; i++ {
+			zs = append(zs, sym)
+			xs = append(xs, float64(i))
+			ys = append(ys, base+trend[i]*scale+rng.NormFloat64()*0.02*base)
+		}
+	}
+	tbl, err := dataset.New(
+		dataset.Column{Name: "symbol", Type: dataset.String, Strings: zs},
+		dataset.Column{Name: "day", Type: dataset.Float, Floats: xs},
+		dataset.Column{Name: "price", Type: dataset.Float, Floats: ys},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
+func tickerPrefix(pattern string) string {
+	if len(pattern) >= 3 {
+		return pattern[:3]
+	}
+	return pattern
+}
+
+// Luminosity synthesizes star brightness curves: columns star, time,
+// luminosity. Planted shapes follow the astronomy use-cases of the paper's
+// introduction: transit dips (a planet crossing the star), supernova spikes,
+// and quiet stars.
+func Luminosity(numStars, points int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	var zs []string
+	var xs, ys []float64
+	for s := 0; s < numStars; s++ {
+		var name string
+		var trend []float64
+		switch s % 4 {
+		case 0: // transit dip: flat, sharp down, sharp up, flat
+			name = fmt.Sprintf("transit%03d", s)
+			trend = RenderTemplate(T("dip", 0.5, 2, -75, 0.3, 75, 0.3, -0.5, 2), points, rng)
+		case 1: // supernova: flat then sharp peak then decay
+			name = fmt.Sprintf("supernova%03d", s)
+			trend = RenderTemplate(T("nova", 0.5, 2, 80, 0.3, -55, 1.2), points, rng)
+		case 2: // double transit
+			name = fmt.Sprintf("binary%03d", s)
+			trend = RenderTemplate(T("dip2", 0.5, 1.5, -70, 0.3, 70, 0.3, 0.5, 1.5, -70, 0.3, 70, 0.3, 0.5, 1.5), points, rng)
+		default: // quiet star
+			name = fmt.Sprintf("quiet%03d", s)
+			trend = RenderTemplate(T("quiet", 0, 1), points, rng)
+		}
+		amp := amplitude(trend)
+		if amp == 0 {
+			amp = 1
+		}
+		base := 50 + rng.Float64()*100
+		for i := 0; i < points; i++ {
+			zs = append(zs, name)
+			xs = append(xs, float64(i))
+			ys = append(ys, base+trend[i]*base*0.2/amp+rng.NormFloat64()*0.01*base)
+		}
+	}
+	tbl, err := dataset.New(
+		dataset.Column{Name: "star", Type: dataset.String, Strings: zs},
+		dataset.Column{Name: "time", Type: dataset.Float, Floats: xs},
+		dataset.Column{Name: "luminosity", Type: dataset.Float, Floats: ys},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
+// Cities synthesizes monthly temperature trendlines: columns city, month,
+// temperature. Northern cities peak mid-year; southern cities (like the
+// paper's Sydney example) rise toward January and fall toward July.
+func Cities(numCities, months int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	var zs []string
+	var xs, ys []float64
+	for c := 0; c < numCities; c++ {
+		southern := c%3 == 2
+		name := fmt.Sprintf("city%03d", c)
+		if southern {
+			name = fmt.Sprintf("south%03d", c)
+		}
+		base := -5 + rng.Float64()*25
+		ampl := 8 + rng.Float64()*12
+		phase := 0.0
+		if southern {
+			phase = math.Pi
+		}
+		for m := 0; m < months; m++ {
+			t := base + ampl*math.Cos(2*math.Pi*float64(m)/12-math.Pi+phase) + rng.NormFloat64()*0.8
+			zs = append(zs, name)
+			xs = append(xs, float64(m))
+			ys = append(ys, t)
+		}
+	}
+	tbl, err := dataset.New(
+		dataset.Column{Name: "city", Type: dataset.String, Strings: zs},
+		dataset.Column{Name: "month", Type: dataset.Float, Floats: xs},
+		dataset.Column{Name: "temperature", Type: dataset.Float, Floats: ys},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}

@@ -1,0 +1,206 @@
+package nlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"shapesearch/internal/pos"
+	"shapesearch/internal/text"
+)
+
+// Features implements the Table 3 feature set for one token position:
+// POS-tag context, word context, predicted entities (synonym matches, the
+// weak-supervision "bootstrapping" features), time/space preposition
+// distances, punctuation distances, conjunction distances, and the
+// miscellaneous features (d(x), d(y), d(next), suffixes, query length).
+func Features(tokens []text.Token, tags []pos.Tag) [][]string {
+	n := len(tokens)
+	predicted := make([]string, n)
+	for i, tok := range tokens {
+		predicted[i] = predictEntity(tok)
+	}
+	lenBucket := bucket(n / 4)
+
+	feats := make([][]string, n)
+	for i := range tokens {
+		var fs []string
+		add := func(format string, args ...any) {
+			fs = append(fs, fmt.Sprintf(format, args...))
+		}
+		w := tokens[i].Text
+		add("w=%s", w)
+		add("stem=%s", text.Stem(w))
+		add("pos=%s", tags[i])
+		add("pos-=%s", tagAt(tags, i-1))
+		add("pos+=%s", tagAt(tags, i+1))
+		add("w-=%s", wordAt(tokens, i-1))
+		add("w+=%s", wordAt(tokens, i+1))
+		add("w--=%s", wordAt(tokens, i-2))
+		add("w++=%s", wordAt(tokens, i+2))
+		if tokens[i].IsNumber {
+			add("isnum")
+		}
+		if _, ok := text.MonthNumber(w); ok {
+			add("ismonth")
+		}
+		if _, ok := text.SmallNumber(w); ok {
+			add("issmallnum")
+		}
+		// Predicted-entity features (synonym bootstrap).
+		if predicted[i] != "" {
+			add("pe=%s", predicted[i])
+		}
+		add("pe-=%s", predAt(predicted, i-1))
+		add("pe+=%s", predAt(predicted, i+1))
+		add("d(pe+)=%s", bucket(distForward(predicted, i, func(s string) bool { return s != "" })))
+		add("d(pe-)=%s", bucket(distBackward(predicted, i, func(s string) bool { return s != "" })))
+		// Preposition features.
+		add("tp+=%s", nearestWord(tokens, i, +1, timePreps))
+		add("tp-=%s", nearestWord(tokens, i, -1, timePreps))
+		add("sp+=%s", nearestWord(tokens, i, +1, spacePreps))
+		add("sp-=%s", nearestWord(tokens, i, -1, spacePreps))
+		add("d(tp+)=%s", bucket(distWord(tokens, i, +1, timePreps)))
+		add("d(tp-)=%s", bucket(distWord(tokens, i, -1, timePreps)))
+		add("d(sp+)=%s", bucket(distWord(tokens, i, +1, spacePreps)))
+		add("d(sp-)=%s", bucket(distWord(tokens, i, -1, spacePreps)))
+		// Punctuation distances.
+		for _, p := range []string{",", ";", "."} {
+			add("d(%s+)=%s", p, bucket(distWord(tokens, i, +1, map[string]bool{p: true})))
+			add("d(%s-)=%s", p, bucket(distWord(tokens, i, -1, map[string]bool{p: true})))
+		}
+		// Conjunction distances.
+		add("d(and+)=%s", bucket(distWord(tokens, i, +1, map[string]bool{"and": true})))
+		add("d(or-)=%s", bucket(distWord(tokens, i, -1, map[string]bool{"or": true})))
+		add("d(then+)=%s", bucket(distWord(tokens, i, +1, map[string]bool{"then": true})))
+		// Miscellaneous.
+		add("d(x)=%s", bucket(distWord(tokens, i, +1, map[string]bool{"x": true})))
+		add("d(y)=%s", bucket(distWord(tokens, i, +1, map[string]bool{"y": true})))
+		add("d(next)=%s", bucket(distWord(tokens, i, +1, map[string]bool{"next": true})))
+		if strings.HasSuffix(w, "ing") {
+			add("ends(ing)")
+		}
+		if strings.HasSuffix(w, "ly") {
+			add("ends(ly)")
+		}
+		add("qlen=%s", lenBucket)
+		feats[i] = fs
+	}
+	return feats
+}
+
+var timePreps = map[string]bool{
+	"during": true, "until": true, "till": true, "before": true, "after": true,
+	"when": true, "while": true,
+}
+
+var spacePreps = map[string]bool{
+	"from": true, "to": true, "between": true, "at": true, "above": true,
+	"below": true, "around": true, "within": true, "over": true, "of": true,
+}
+
+// predictEntity is the synonym-match feature: the entity type whose synonym
+// list most closely matches the word (Section 4's "predicted-entity").
+func predictEntity(tok text.Token) string {
+	if tok.IsPunct {
+		return ""
+	}
+	if tok.IsNumber {
+		return "NUM"
+	}
+	if _, ok := text.SmallNumber(tok.Text); ok {
+		return "NUM"
+	}
+	if _, ok := text.MonthNumber(tok.Text); ok {
+		return "NUM"
+	}
+	v, ok := text.MatchValue(tok.Text, []text.EntityValue{
+		text.ValUp, text.ValDown, text.ValFlat, text.ValPeak, text.ValValley,
+		text.ValSharp, text.ValGradual, text.ValConcat, text.ValAnd, text.ValOr,
+		text.ValNot, text.ValAtLeast, text.ValAtMost, text.ValExactly, text.ValWidth,
+	})
+	if !ok {
+		return ""
+	}
+	return string(v)
+}
+
+func tagAt(tags []pos.Tag, i int) pos.Tag {
+	if i < 0 {
+		return "BOS"
+	}
+	if i >= len(tags) {
+		return "EOS"
+	}
+	return tags[i]
+}
+
+func wordAt(tokens []text.Token, i int) string {
+	if i < 0 {
+		return "<bos>"
+	}
+	if i >= len(tokens) {
+		return "<eos>"
+	}
+	return tokens[i].Text
+}
+
+func predAt(pred []string, i int) string {
+	if i < 0 || i >= len(pred) {
+		return ""
+	}
+	return pred[i]
+}
+
+func distForward(xs []string, i int, match func(string) bool) int {
+	for d := 1; i+d < len(xs); d++ {
+		if match(xs[i+d]) {
+			return d
+		}
+	}
+	return -1
+}
+
+func distBackward(xs []string, i int, match func(string) bool) int {
+	for d := 1; i-d >= 0; d++ {
+		if match(xs[i-d]) {
+			return d
+		}
+	}
+	return -1
+}
+
+func distWord(tokens []text.Token, i, dir int, set map[string]bool) int {
+	for d := 1; ; d++ {
+		j := i + dir*d
+		if j < 0 || j >= len(tokens) {
+			return -1
+		}
+		if set[tokens[j].Text] {
+			return d
+		}
+	}
+}
+
+func nearestWord(tokens []text.Token, i, dir int, set map[string]bool) string {
+	for d := 1; ; d++ {
+		j := i + dir*d
+		if j < 0 || j >= len(tokens) {
+			return "<none>"
+		}
+		if set[tokens[j].Text] {
+			return tokens[j].Text
+		}
+	}
+}
+
+// bucket discretizes a distance: -1 (absent), 1, 2, 3, 4, or "5+".
+func bucket(d int) string {
+	switch {
+	case d < 0:
+		return "none"
+	case d >= 5:
+		return "5+"
+	default:
+		return fmt.Sprintf("%d", d)
+	}
+}

@@ -1,0 +1,224 @@
+package nlparser
+
+import (
+	"shapesearch/internal/crf"
+	"shapesearch/internal/pos"
+	"shapesearch/internal/text"
+)
+
+// RuleTagger is the deterministic synonym-and-context entity tagger. It is
+// the default (no training required) and the fallback when no CRF model is
+// loaded; it also generates the "predicted-entity" bootstrap signal the CRF
+// features build on.
+type RuleTagger struct{}
+
+// Tag implements Tagger.
+func (RuleTagger) Tag(tokens []text.Token, tags []pos.Tag) []string {
+	n := len(tokens)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = EntNoise
+	}
+	for i, tok := range tokens {
+		if tok.IsPunct || pos.IsLikelyNoise(tags[i]) {
+			continue
+		}
+		w := tok.Text
+		// Operators first: their common words are unambiguous.
+		switch w {
+		case "then", "afterwards", "thereafter", "subsequently", "next", "later":
+			out[i] = EntConcat
+			continue
+		case "followed", "following":
+			out[i] = EntConcat
+			continue
+		case "and":
+			// "and then" is CONCAT; bare "and" joins patterns.
+			if i+1 < n && tokens[i+1].Text == "then" {
+				out[i] = EntNoise
+			} else {
+				out[i] = EntAnd
+			}
+			continue
+		case "or", "either":
+			out[i] = EntOr
+			continue
+		case "not", "never", "without":
+			out[i] = EntNot
+			continue
+		case "while", "simultaneously":
+			out[i] = EntAnd
+			continue
+		}
+		// Numbers: role decided by context.
+		if num, ok := numberOf(tok); ok {
+			out[i] = classifyNumber(tokens, tags, i, num)
+			continue
+		}
+		// Quantifier markers.
+		if (w == "least" || w == "most") && i > 0 && tokens[i-1].Text == "at" {
+			out[i] = EntMod
+			continue
+		}
+		if w == "exactly" || w == "precisely" {
+			out[i] = EntMod
+			continue
+		}
+		if w == "times" || w == "time" || w == "occurrences" {
+			continue // unit word, not an entity
+		}
+		// Width markers ("span of 3 months" / "window of 4").
+		if v, ok := text.MatchValue(w, []text.EntityValue{text.ValWidth}); ok && v == text.ValWidth &&
+			exactSynonym(w, text.ValWidth) {
+			out[i] = EntWidth
+			continue
+		}
+		// Pattern and modifier vocabulary.
+		if v, ok := text.MatchValue(w, []text.EntityValue{
+			text.ValUp, text.ValDown, text.ValFlat, text.ValPeak, text.ValValley,
+		}); ok && plausiblePatternPOS(tags[i]) {
+			_ = v
+			out[i] = EntPattern
+			continue
+		}
+		if _, ok := text.MatchValue(w, []text.EntityValue{text.ValSharp, text.ValGradual}); ok {
+			out[i] = EntMod
+			continue
+		}
+	}
+	return out
+}
+
+// plausiblePatternPOS: pattern words surface as verbs ("rising"),
+// adjectives ("stable"), nouns ("peak", "growth") or adverbs ("upward").
+func plausiblePatternPOS(t pos.Tag) bool {
+	switch t {
+	case pos.Verb, pos.Adj, pos.Noun, pos.Adv:
+		return true
+	default:
+		return false
+	}
+}
+
+func exactSynonym(w string, v text.EntityValue) bool {
+	for _, s := range text.Synonyms(v) {
+		if w == s {
+			return true
+		}
+	}
+	return false
+}
+
+func numberOf(tok text.Token) (float64, bool) {
+	if tok.IsNumber {
+		return tok.Num, true
+	}
+	if n, ok := text.SmallNumber(tok.Text); ok {
+		return n, true
+	}
+	if n, ok := text.MonthNumber(tok.Text); ok {
+		return n, true
+	}
+	return 0, false
+}
+
+// classifyNumber decides a numeric token's entity from its context:
+// "from 2 to 5" (XS/XE), "y=10" (YS), "span of 3" (W), "2 peaks" or
+// "rises 2 times" (CNT).
+func classifyNumber(tokens []text.Token, tags []pos.Tag, i int, num float64) string {
+	prev1 := wordAt(tokens, i-1)
+	prev2 := wordAt(tokens, i-2)
+	next1 := wordAt(tokens, i+1)
+
+	// Axis-explicit: "x = 5", "y = 10".
+	if prev1 == "=" && (prev2 == "x" || prev2 == "y") {
+		axisStart := true
+		// "to x=5" / "until" implies an end coordinate.
+		for d := 3; d <= 5 && i-d >= 0; d++ {
+			switch tokens[i-d].Text {
+			case "to", "until", "till":
+				axisStart = false
+			case "from", "between":
+				axisStart = true
+			}
+		}
+		if prev2 == "x" {
+			if axisStart {
+				return EntXS
+			}
+			return EntXE
+		}
+		if axisStart {
+			return EntYS
+		}
+		return EntYE
+	}
+	// Count: "2 peaks", "rises twice", "2 times".
+	if next1 == "times" || next1 == "time" || next1 == "occurrences" {
+		return EntCount
+	}
+	if _, isPat := text.MatchValue(next1, []text.EntityValue{text.ValPeak, text.ValValley}); isPat && num == float64(int(num)) && num < 20 {
+		if exactAny(next1, text.ValPeak, text.ValValley) {
+			return EntCount
+		}
+	}
+	if _, ok := text.SmallNumber(tokens[i].Text); ok && !tokens[i].IsNumber {
+		// "twice"/"thrice"/"two" followed by pattern words count occurrences.
+		if tokens[i].Text == "twice" || tokens[i].Text == "thrice" || tokens[i].Text == "once" {
+			return EntCount
+		}
+	}
+	// Width: "span of 3 months", "window of 4", "width 5", "over 3 months".
+	if prev1 == "of" && (exactSynonym(prev2, text.ValWidth) || prev2 == "") {
+		if exactSynonym(prev2, text.ValWidth) {
+			return EntWidth
+		}
+	}
+	if exactSynonym(prev1, text.ValWidth) {
+		return EntWidth
+	}
+	if next1 == "months" || next1 == "days" || next1 == "weeks" || next1 == "hours" ||
+		next1 == "points" || next1 == "years" {
+		// "over 3 months" is a width; "from 3 months" would be a location.
+		if prev1 == "over" || prev1 == "within" || prev1 == "of" || prev1 == "spanning" {
+			return EntWidth
+		}
+	}
+	// Start/end by preposition.
+	switch prev1 {
+	case "from", "between", "starting", "start", "begin", "beginning":
+		return EntXS
+	case "to", "until", "till", "ending", "end", "reaching":
+		return EntXE
+	case "and":
+		// "between 2 and 5".
+		for d := 2; d <= 4 && i-d >= 0; d++ {
+			if tokens[i-d].Text == "between" {
+				return EntXE
+			}
+		}
+	}
+	return EntNoise
+}
+
+func exactAny(w string, vals ...text.EntityValue) bool {
+	for _, v := range vals {
+		if exactSynonym(w, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// CRFTagger wraps a trained linear-chain CRF model.
+type CRFTagger struct {
+	Model *crf.Model
+}
+
+// Tag implements Tagger by Viterbi decoding over Table 3 features.
+func (t CRFTagger) Tag(tokens []text.Token, tags []pos.Tag) []string {
+	if t.Model == nil || len(tokens) == 0 {
+		return RuleTagger{}.Tag(tokens, tags)
+	}
+	return t.Model.Decode(Features(tokens, tags))
+}

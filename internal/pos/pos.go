@@ -1,0 +1,122 @@
+// Package pos implements a compact part-of-speech tagger used to derive
+// features for the natural-language parser (Table 3 of the paper) and to
+// separate noise words from candidate shape entities. It combines a
+// closed-class lexicon with suffix heuristics — ample for the short,
+// imperative query language of trendline search.
+package pos
+
+import (
+	"strings"
+
+	"shapesearch/internal/text"
+)
+
+// Tag is a coarse part-of-speech category.
+type Tag string
+
+// Coarse tags. Closed classes come from the lexicon; open classes fall back
+// to suffix morphology.
+const (
+	Noun  Tag = "NOUN"
+	Verb  Tag = "VERB"
+	Adj   Tag = "ADJ"
+	Adv   Tag = "ADV"
+	Num   Tag = "NUM"
+	Det   Tag = "DET"
+	Prep  Tag = "PREP"
+	Conj  Tag = "CONJ"
+	Pron  Tag = "PRON"
+	Punct Tag = "PUNCT"
+	Other Tag = "OTHER"
+)
+
+var lexicon = map[string]Tag{
+	// Determiners.
+	"a": Det, "an": Det, "the": Det, "this": Det, "that": Det, "these": Det,
+	"those": Det, "some": Det, "any": Det, "each": Det, "every": Det,
+	// Prepositions (time/space prepositions are features in Table 3).
+	"in": Prep, "on": Prep, "at": Prep, "from": Prep, "to": Prep, "of": Prep,
+	"by": Prep, "with": Prep, "within": Prep, "over": Prep, "between": Prep,
+	"during": Prep, "until": Prep, "till": Prep, "for": Prep, "before": Prep,
+	"after": Prep, "around": Prep, "near": Prep, "towards": Prep, "through": Prep,
+	// Conjunctions and connectives.
+	"and": Conj, "or": Conj, "but": Conj, "then": Conj, "while": Conj,
+	"nor": Conj, "so": Conj, "yet": Conj,
+	// Pronouns.
+	"i": Pron, "me": Pron, "my": Pron, "we": Pron, "us": Pron, "our": Pron,
+	"it": Pron, "its": Pron, "they": Pron, "them": Pron, "their": Pron,
+	"which": Pron, "whose": Pron, "what": Pron,
+	// Common verbs in queries.
+	"is": Verb, "are": Verb, "was": Verb, "were": Verb, "be": Verb, "been": Verb,
+	"show": Verb, "find": Verb, "get": Verb, "give": Verb, "want": Verb,
+	"see": Verb, "display": Verb, "search": Verb, "look": Verb, "goes": Verb,
+	"go": Verb, "going": Verb, "stay": Verb, "stays": Verb, "keep": Verb,
+	"keeps": Verb, "start": Verb, "starts": Verb, "begin": Verb, "begins": Verb,
+	"end": Verb, "ends": Verb, "remain": Verb, "remains": Verb,
+	// Frequent adjectives/adverbs in trend language.
+	"high": Adj, "low": Adj, "big": Adj, "small": Adj, "long": Adj, "short": Adj,
+	"first": Adj, "second": Adj, "third": Adj, "final": Adj, "initial": Adj,
+	"very": Adv, "too": Adv, "again": Adv, "once": Adv, "twice": Adv,
+	"thrice": Adv, "there": Adv, "not": Adv, "never": Adv, "always": Adv,
+	"least": Adv, "most": Adv, "about": Adv, "approximately": Adv, "roughly": Adv,
+}
+
+// TagTokens assigns a part-of-speech tag to each token.
+func TagTokens(tokens []text.Token) []Tag {
+	tags := make([]Tag, len(tokens))
+	for i, tok := range tokens {
+		tags[i] = tagOne(tok)
+	}
+	return tags
+}
+
+func tagOne(tok text.Token) Tag {
+	if tok.IsPunct {
+		return Punct
+	}
+	if tok.IsNumber {
+		return Num
+	}
+	w := tok.Text
+	if t, ok := lexicon[w]; ok {
+		return t
+	}
+	if _, ok := text.SmallNumber(w); ok {
+		return Num
+	}
+	if _, ok := text.MonthNumber(w); ok {
+		return Noun
+	}
+	// Suffix morphology for open classes.
+	switch {
+	case strings.HasSuffix(w, "ly"):
+		return Adv
+	case strings.HasSuffix(w, "ing"), strings.HasSuffix(w, "ed"),
+		strings.HasSuffix(w, "ise"), strings.HasSuffix(w, "ize"):
+		return Verb
+	case strings.HasSuffix(w, "ous"), strings.HasSuffix(w, "ful"),
+		strings.HasSuffix(w, "ive"), strings.HasSuffix(w, "able"),
+		strings.HasSuffix(w, "al"), strings.HasSuffix(w, "ic"),
+		strings.HasSuffix(w, "est"):
+		return Adj
+	case strings.HasSuffix(w, "tion"), strings.HasSuffix(w, "ment"),
+		strings.HasSuffix(w, "ness"), strings.HasSuffix(w, "ity"),
+		strings.HasSuffix(w, "er"), strings.HasSuffix(w, "ies"):
+		return Noun
+	default:
+		return Noun
+	}
+}
+
+// IsLikelyNoise classifies a tagged token as a noise word (Section 4): the
+// closed classes that almost never carry shape entities. Prepositions stay
+// as features for neighbouring words but are noise themselves, except when
+// they connect numbers ("from 2 to 5") — the caller handles that case.
+func IsLikelyNoise(tag Tag) bool {
+	switch tag {
+	case Det, Pron, Punct:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,61 @@
+package pos
+
+import (
+	"testing"
+
+	"shapesearch/internal/text"
+)
+
+func tagsOf(s string) []Tag {
+	return TagTokens(text.Tokenize(s))
+}
+
+func TestTagTokens(t *testing.T) {
+	tags := tagsOf("show me the genes rising sharply from 2 to 5, please")
+	want := []Tag{Verb, Pron, Det, Noun, Verb, Adv, Prep, Num, Prep, Num, Punct, Noun}
+	if len(tags) != len(want) {
+		t.Fatalf("tags = %v", tags)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("tag %d = %v, want %v", i, tags[i], want[i])
+		}
+	}
+}
+
+func TestSuffixMorphology(t *testing.T) {
+	cases := map[string]Tag{
+		"quickly":    Adv,
+		"falling":    Verb,
+		"stabilized": Verb,
+		"drastic":    Adj,
+		"expression": Noun,
+		"luminosity": Noun,
+		"trend":      Noun,
+	}
+	for w, want := range cases {
+		got := TagTokens(text.Tokenize(w))[0]
+		if got != want {
+			t.Errorf("%q tagged %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestNumbersAndMonths(t *testing.T) {
+	tags := tagsOf("three peaks in november")
+	if tags[0] != Num {
+		t.Errorf("three = %v, want NUM", tags[0])
+	}
+	if tags[3] != Noun {
+		t.Errorf("november = %v, want NOUN", tags[3])
+	}
+}
+
+func TestIsLikelyNoise(t *testing.T) {
+	if !IsLikelyNoise(Det) || !IsLikelyNoise(Pron) || !IsLikelyNoise(Punct) {
+		t.Error("determiners, pronouns and punctuation are noise")
+	}
+	if IsLikelyNoise(Verb) || IsLikelyNoise(Noun) || IsLikelyNoise(Num) {
+		t.Error("open classes are not automatically noise")
+	}
+}

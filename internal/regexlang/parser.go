@@ -1,0 +1,572 @@
+package regexlang
+
+import (
+	"math"
+
+	"shapesearch/internal/shape"
+)
+
+// Parse parses a visual regular expression into a validated ShapeQuery.
+func Parse(input string) (shape.Query, error) {
+	p := &parser{lex: &lexer{input: input}}
+	if err := p.advance(); err != nil {
+		return shape.Query{}, err
+	}
+	root, err := p.parseOr()
+	if err != nil {
+		return shape.Query{}, err
+	}
+	if p.cur.kind != tokEOF {
+		return shape.Query{}, errf(p.cur.pos, "unexpected %s after end of query", p.cur.kind)
+	}
+	q := shape.Query{Root: root}
+	if err := q.Validate(); err != nil {
+		return shape.Query{}, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically known-good queries; it panics on error.
+// Intended for tests and example code.
+func MustParse(input string) shape.Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, errf(p.cur.pos, "expected %s, found %s", kind, p.cur.kind)
+	}
+	t := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// parseOr handles the lowest-precedence operator: Q ⊕ Q.
+func (p *parser) parseOr() (*shape.Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*shape.Node{left}
+	for p.cur.kind == tokOr || (p.cur.kind == tokIdent && p.cur.text == "or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	return shape.Or(children...), nil
+}
+
+// parseAnd handles Q ⊙ Q.
+func (p *parser) parseAnd() (*shape.Node, error) {
+	left, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	children := []*shape.Node{left}
+	for p.cur.kind == tokAnd || (p.cur.kind == tokIdent && p.cur.text == "and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	return shape.And(children...), nil
+}
+
+// parseCat handles CONCAT: explicit ⊗ / ";", or juxtaposition
+// ("[p=up][p=down]").
+func (p *parser) parseCat() (*shape.Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []*shape.Node{left}
+	for {
+		if p.cur.kind == tokConcat {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if !p.startsPrimary() {
+			break
+		}
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	return shape.Concat(children...), nil
+}
+
+func (p *parser) startsPrimary() bool {
+	switch p.cur.kind {
+	case tokLBracket, tokLParen, tokBang:
+		return true
+	case tokIdent:
+		return p.cur.text != "and" && p.cur.text != "or"
+	default:
+		return false
+	}
+}
+
+func (p *parser) parseUnary() (*shape.Node, error) {
+	if p.cur.kind == tokBang {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return shape.Not(child), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*shape.Node, error) {
+	switch p.cur.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokLBracket:
+		return p.parseBracket()
+	case tokIdent:
+		return p.parseBare()
+	default:
+		return nil, errf(p.cur.pos, "expected a shape expression, found %s", p.cur.kind)
+	}
+}
+
+// parseBare handles bare pattern shorthands outside brackets: up, u, down,
+// d, flat, f, *, empty, theta=NUM, or a user-defined pattern name.
+func (p *parser) parseBare() (*shape.Node, error) {
+	name := p.cur.text
+	pos := p.cur.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "up", "u":
+		return shape.PatternSeg(shape.PatUp), nil
+	case "down", "d":
+		return shape.PatternSeg(shape.PatDown), nil
+	case "flat", "f":
+		return shape.PatternSeg(shape.PatFlat), nil
+	case "*", "any":
+		return shape.PatternSeg(shape.PatAny), nil
+	case "empty":
+		return shape.PatternSeg(shape.PatEmpty), nil
+	case "theta", "slope":
+		if _, err := p.expect(tokEq); err != nil {
+			return nil, err
+		}
+		deg, err := p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+		return shape.SlopeSeg(deg), nil
+	default:
+		if name == "p" || name == "m" || name == "v" || len(name) > 1 && (name[1] == '.') {
+			return nil, errf(pos, "segment primitives like %q must appear inside brackets", name)
+		}
+		return shape.Seg(shape.Segment{Pat: shape.Pattern{Kind: shape.PatUDP, Name: name}}), nil
+	}
+}
+
+// parseBracket parses a MATCH segment: [key=value, ...].
+func (p *parser) parseBracket() (*shape.Node, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	var seg shape.Segment
+	for {
+		if p.cur.kind == tokRBracket || p.cur.kind == tokEOF {
+			break
+		}
+		if err := p.parseKV(&seg); err != nil {
+			return nil, err
+		}
+		if p.cur.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return shape.Seg(seg), nil
+}
+
+func (p *parser) parseKV(seg *shape.Segment) error {
+	key, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	switch key.text {
+	case "x.s":
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		c, err := p.parseCoord()
+		if err != nil {
+			return err
+		}
+		seg.Loc.XS = c
+	case "x.e":
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		c, err := p.parseCoord()
+		if err != nil {
+			return err
+		}
+		seg.Loc.XE = c
+	case "y.s":
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		v, err := p.parseSignedNumber()
+		if err != nil {
+			return err
+		}
+		seg.Loc.YS = shape.Lit(v)
+	case "y.e":
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		v, err := p.parseSignedNumber()
+		if err != nil {
+			return err
+		}
+		seg.Loc.YE = shape.Lit(v)
+	case "p":
+		// Accept both p=value and the paper's table typography p{value}.
+		if p.cur.kind == tokLBrace {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			pat, err := p.parsePatternValue()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return err
+			}
+			seg.Pat = pat
+			return nil
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		pat, err := p.parsePatternValue()
+		if err != nil {
+			return err
+		}
+		seg.Pat = pat
+	case "m":
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		mod, err := p.parseModifierValue()
+		if err != nil {
+			return err
+		}
+		seg.Mod = mod
+	case "v":
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		pts, err := p.parseSketchValue()
+		if err != nil {
+			return err
+		}
+		seg.Sketch = pts
+	default:
+		return errf(key.pos, "unknown segment primitive %q (want x.s, x.e, y.s, y.e, p, m, or v)", key.text)
+	}
+	return nil
+}
+
+func (p *parser) parseCoord() (shape.Coord, error) {
+	if p.cur.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return shape.Coord{}, err
+		}
+		if p.cur.kind == tokPlus {
+			if err := p.advance(); err != nil {
+				return shape.Coord{}, err
+			}
+			n, err := p.parseSignedNumber()
+			if err != nil {
+				return shape.Coord{}, err
+			}
+			return shape.IterCoord(n), nil
+		}
+		return shape.IterCoord(0), nil
+	}
+	v, err := p.parseSignedNumber()
+	if err != nil {
+		return shape.Coord{}, err
+	}
+	return shape.Lit(v), nil
+}
+
+func (p *parser) parsePatternValue() (shape.Pattern, error) {
+	switch p.cur.kind {
+	case tokIdent:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return shape.Pattern{}, err
+		}
+		switch name {
+		case "up", "u":
+			return shape.Pattern{Kind: shape.PatUp}, nil
+		case "down", "d":
+			return shape.Pattern{Kind: shape.PatDown}, nil
+		case "flat", "f":
+			return shape.Pattern{Kind: shape.PatFlat}, nil
+		case "*", "any":
+			return shape.Pattern{Kind: shape.PatAny}, nil
+		case "empty":
+			return shape.Pattern{Kind: shape.PatEmpty}, nil
+		default:
+			return shape.Pattern{Kind: shape.PatUDP, Name: name}, nil
+		}
+	case tokNumber, tokMinus:
+		deg, err := p.parseSignedNumber()
+		if err != nil {
+			return shape.Pattern{}, err
+		}
+		return shape.Pattern{Kind: shape.PatSlope, Slope: deg}, nil
+	case tokDollar:
+		if err := p.advance(); err != nil {
+			return shape.Pattern{}, err
+		}
+		switch p.cur.kind {
+		case tokMinus:
+			if err := p.advance(); err != nil {
+				return shape.Pattern{}, err
+			}
+			return shape.Pattern{Kind: shape.PatPosition, Ref: shape.PosRef{Kind: shape.RefPrev}}, nil
+		case tokPlus:
+			if err := p.advance(); err != nil {
+				return shape.Pattern{}, err
+			}
+			return shape.Pattern{Kind: shape.PatPosition, Ref: shape.PosRef{Kind: shape.RefNext}}, nil
+		case tokNumber:
+			idx := int(p.cur.num)
+			if float64(idx) != p.cur.num || idx < 0 {
+				return shape.Pattern{}, errf(p.cur.pos, "position reference must be a non-negative integer")
+			}
+			if err := p.advance(); err != nil {
+				return shape.Pattern{}, err
+			}
+			return shape.Pattern{Kind: shape.PatPosition, Ref: shape.PosRef{Kind: shape.RefAbs, Index: idx}}, nil
+		default:
+			return shape.Pattern{}, errf(p.cur.pos, "expected segment index, '-' or '+' after '$'")
+		}
+	case tokLBracket:
+		// Nested sub-query pattern: p=[[p=up][p=down]].
+		if err := p.advance(); err != nil {
+			return shape.Pattern{}, err
+		}
+		sub, err := p.parseOr()
+		if err != nil {
+			return shape.Pattern{}, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return shape.Pattern{}, err
+		}
+		return shape.Pattern{Kind: shape.PatNested, Sub: sub}, nil
+	default:
+		return shape.Pattern{}, errf(p.cur.pos, "expected a pattern value, found %s", p.cur.kind)
+	}
+}
+
+func (p *parser) parseModifierValue() (shape.Modifier, error) {
+	switch p.cur.kind {
+	case tokGTGT:
+		if err := p.advance(); err != nil {
+			return shape.Modifier{}, err
+		}
+		return shape.Modifier{Kind: shape.ModMuchMore}, nil
+	case tokLTLT:
+		if err := p.advance(); err != nil {
+			return shape.Modifier{}, err
+		}
+		return shape.Modifier{Kind: shape.ModMuchLess}, nil
+	case tokGT:
+		if err := p.advance(); err != nil {
+			return shape.Modifier{}, err
+		}
+		if p.cur.kind == tokNumber {
+			f := p.cur.num
+			if err := p.advance(); err != nil {
+				return shape.Modifier{}, err
+			}
+			return shape.Modifier{Kind: shape.ModMoreFactor, Factor: f}, nil
+		}
+		return shape.Modifier{Kind: shape.ModMore}, nil
+	case tokLT:
+		if err := p.advance(); err != nil {
+			return shape.Modifier{}, err
+		}
+		if p.cur.kind == tokNumber {
+			f := p.cur.num
+			if err := p.advance(); err != nil {
+				return shape.Modifier{}, err
+			}
+			return shape.Modifier{Kind: shape.ModLessFactor, Factor: f}, nil
+		}
+		return shape.Modifier{Kind: shape.ModLess}, nil
+	case tokEq:
+		if err := p.advance(); err != nil {
+			return shape.Modifier{}, err
+		}
+		return shape.Modifier{Kind: shape.ModEqual}, nil
+	case tokNumber:
+		// m=2 means "exactly 2 occurrences" (Section 3.1).
+		n, err := p.parseCount()
+		if err != nil {
+			return shape.Modifier{}, err
+		}
+		return shape.Modifier{Kind: shape.ModQuantifier, Min: n, Max: n, HasMin: true, HasMax: true}, nil
+	case tokLBrace:
+		return p.parseQuantifier()
+	default:
+		return shape.Modifier{}, errf(p.cur.pos, "expected a modifier value, found %s", p.cur.kind)
+	}
+}
+
+// parseQuantifier parses {n}, {n,}, {,m} and {n,m}.
+func (p *parser) parseQuantifier() (shape.Modifier, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return shape.Modifier{}, err
+	}
+	mod := shape.Modifier{Kind: shape.ModQuantifier}
+	if p.cur.kind == tokNumber {
+		n, err := p.parseCount()
+		if err != nil {
+			return shape.Modifier{}, err
+		}
+		mod.Min, mod.HasMin = n, true
+	}
+	if p.cur.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return shape.Modifier{}, err
+		}
+		if p.cur.kind == tokNumber {
+			n, err := p.parseCount()
+			if err != nil {
+				return shape.Modifier{}, err
+			}
+			mod.Max, mod.HasMax = n, true
+		}
+	} else if mod.HasMin {
+		// {n} is shorthand for exactly n.
+		mod.Max, mod.HasMax = mod.Min, true
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return shape.Modifier{}, err
+	}
+	return mod, nil
+}
+
+func (p *parser) parseSketchValue() ([]shape.Point, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var pts []shape.Point
+	for {
+		x, err := p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		y, err := p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, shape.Point{X: x, Y: y})
+		if p.cur.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func (p *parser) parseSignedNumber() (float64, error) {
+	neg := false
+	if p.cur.kind == tokMinus {
+		neg = true
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+	}
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.num, nil
+	}
+	return t.num, nil
+}
+
+func (p *parser) parseCount() (int, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n := int(t.num)
+	if float64(n) != t.num || n < 0 || t.num > math.MaxInt32 {
+		return 0, errf(t.pos, "expected a non-negative integer count, found %v", t.num)
+	}
+	return n, nil
+}

@@ -1,0 +1,262 @@
+package segstat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSlopeSimpleLine(t *testing.T) {
+	// y = 2x + 1 exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	s := FromPoints(xs, ys)
+	slope, ok := s.Slope()
+	if !ok {
+		t.Fatal("expected ok slope")
+	}
+	if !almostEq(slope, 2, 1e-12) {
+		t.Fatalf("slope = %v, want 2", slope)
+	}
+	ic, ok := s.Intercept()
+	if !ok || !almostEq(ic, 1, 1e-12) {
+		t.Fatalf("intercept = %v (ok=%v), want 1", ic, ok)
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	var s Stats
+	if _, ok := s.Slope(); ok {
+		t.Fatal("empty stats should not have a slope")
+	}
+	s.Add(1, 5)
+	if _, ok := s.Slope(); ok {
+		t.Fatal("single point should not have a slope")
+	}
+	// Two points at the same x: zero x-variance.
+	var v Stats
+	v.Add(2, 1)
+	v.Add(2, 9)
+	if _, ok := v.Slope(); ok {
+		t.Fatal("vertical segment should not have a slope")
+	}
+}
+
+func TestSlopeNegative(t *testing.T) {
+	s := FromPoints([]float64{0, 1, 2}, []float64{4, 2, 0})
+	slope, ok := s.Slope()
+	if !ok || !almostEq(slope, -2, 1e-12) {
+		t.Fatalf("slope = %v, want -2", slope)
+	}
+}
+
+// TestAdditivityTheorem is the core Theorem 5.1 property: the fit computed
+// from merged statistics equals the fit computed over all points directly.
+func TestAdditivityTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(200)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + r.Float64()*0.01
+			ys[i] = r.NormFloat64()*5 + float64(i)*r.Float64()
+		}
+		cut := 1 + r.Intn(n-1)
+		a := FromPoints(xs[:cut], ys[:cut])
+		b := FromPoints(xs[cut:], ys[cut:])
+		whole := FromPoints(xs, ys)
+		merged := Merge(a, b)
+		ws, _, wok := whole.Line()
+		ms, _, mok := merged.Line()
+		if wok != mok {
+			return false
+		}
+		if !wok {
+			return true
+		}
+		wi, _ := whole.Intercept()
+		mi, _ := merged.Intercept()
+		return almostEq(ws, ms, 1e-9) && almostEq(wi, mi, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeAssociative checks Merge is associative and commutative, which the
+// SegmentTree relies on when combining partial segments in arbitrary order.
+func TestMergeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() Stats {
+			var s Stats
+			for i := 0; i < 3+r.Intn(5); i++ {
+				s.Add(r.Float64()*100, r.NormFloat64()*10)
+			}
+			return s
+		}
+		a, b, c := mk(), mk(), mk()
+		ab_c := Merge(Merge(a, b), c)
+		a_bc := Merge(a, Merge(b, c))
+		ba := Merge(b, a)
+		ab := Merge(a, b)
+		return almostEq(ab_c.SumXY, a_bc.SumXY, 1e-9) &&
+			almostEq(ab_c.SumXX, a_bc.SumXX, 1e-9) &&
+			almostEq(ab.SumX, ba.SumX, 1e-12) &&
+			almostEq(ab.SumY, ba.SumY, 1e-12) &&
+			ab.N == ba.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubInverseOfMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var a, b Stats
+		for i := 0; i < 5; i++ {
+			a.Add(r.Float64()*10, r.Float64()*10)
+			b.Add(r.Float64()*10, r.Float64()*10)
+		}
+		got := Sub(Merge(a, b), b)
+		return almostEq(got.SumX, a.SumX, 1e-9) &&
+			almostEq(got.SumY, a.SumY, 1e-9) &&
+			almostEq(got.SumXY, a.SumXY, 1e-9) &&
+			almostEq(got.SumXX, a.SumXX, 1e-9) &&
+			got.N == a.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	ys := []float64{1, 2, 1, 4, 3, 6, 5, 8}
+	bins := make([]Stats, 0, len(xs)-1)
+	for i := 0; i+1 < len(xs); i++ {
+		var b Stats
+		b.Add(xs[i], ys[i])
+		b.Add(xs[i+1], ys[i+1])
+		bins = append(bins, b)
+	}
+	p := BuildPrefix(bins)
+	if p.NumBins() != len(bins) {
+		t.Fatalf("NumBins = %d, want %d", p.NumBins(), len(bins))
+	}
+	// Range over all bins must equal direct merge of all bins.
+	var all Stats
+	for _, b := range bins {
+		all = Merge(all, b)
+	}
+	got := p.Range(0, len(bins))
+	if !almostEq(got.SumXY, all.SumXY, 1e-9) || got.N != all.N {
+		t.Fatalf("full range mismatch: got %+v want %+v", got, all)
+	}
+	// Sub-range equality.
+	var mid Stats
+	for _, b := range bins[2:5] {
+		mid = Merge(mid, b)
+	}
+	got = p.Range(2, 5)
+	if !almostEq(got.SumXX, mid.SumXX, 1e-9) || got.N != mid.N {
+		t.Fatalf("sub range mismatch: got %+v want %+v", got, mid)
+	}
+}
+
+func TestPrefixRangePanics(t *testing.T) {
+	p := BuildPrefix(make([]Stats, 4))
+	for _, c := range [][2]int{{-1, 2}, {0, 5}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Range(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			p.Range(c[0], c[1])
+		}()
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	ys := []float64{2, 4, 6, 8}
+	ZNormalize(ys)
+	if !almostEq(Mean(ys), 0, 1e-12) {
+		t.Fatalf("mean after znorm = %v, want 0", Mean(ys))
+	}
+	if !almostEq(Std(ys), 1, 1e-12) {
+		t.Fatalf("std after znorm = %v, want 1", Std(ys))
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	ys := []float64{5, 5, 5}
+	ZNormalize(ys)
+	for _, y := range ys {
+		if y != 0 {
+			t.Fatalf("constant series should normalize to zeros, got %v", ys)
+		}
+	}
+}
+
+func TestZNormalizeEmpty(t *testing.T) {
+	ZNormalize(nil) // must not panic
+}
+
+// TestZNormalizeInvariance: z-normalization makes the series invariant to
+// affine transforms a·y + b (a>0), the property the paper relies on for
+// scale/translation invariance.
+func TestZNormalizeInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(50)
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = r.NormFloat64() * 10
+		}
+		// Ensure non-constant.
+		ys[0] = ys[1] + 1
+		a := 0.5 + r.Float64()*10
+		b := r.NormFloat64() * 100
+		scaled := make([]float64, n)
+		for i := range ys {
+			scaled[i] = a*ys[i] + b
+		}
+		orig := append([]float64(nil), ys...)
+		ZNormalize(orig)
+		ZNormalize(scaled)
+		for i := range orig {
+			if !almostEq(orig[i], scaled[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty mean/std should be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); !almostEq(m, 2, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := Std([]float64{2, 2, 2}); s != 0 {
+		t.Fatalf("std of constant = %v", s)
+	}
+}

@@ -1,0 +1,392 @@
+// Package server implements ShapeSearch's REST back-end (Section 2: "All
+// queries are issued to the back-end using a REST protocol"): dataset
+// upload and listing, query parsing with correction-panel feedback, and
+// shape search.
+//
+// Endpoints:
+//
+//	GET  /api/health                     liveness probe
+//	GET  /api/datasets                   list registered datasets
+//	POST /api/datasets/{name}            upload a CSV body as a dataset
+//	POST /api/parse                      parse a query (regex, nl, sketch)
+//	POST /api/search                     parse + execute, returning top-k
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/executor"
+	"shapesearch/internal/nlparser"
+	"shapesearch/internal/regexlang"
+	"shapesearch/internal/shape"
+	"shapesearch/internal/sketch"
+)
+
+// Server hosts datasets and serves shape queries. Safe for concurrent use.
+type Server struct {
+	mu     sync.RWMutex
+	tables map[string]*dataset.Table
+	nl     *nlparser.Parser
+	mux    *http.ServeMux
+}
+
+// New returns a server with no datasets registered.
+func New() *Server {
+	s := &Server{
+		tables: make(map[string]*dataset.Table),
+		nl:     nlparser.NewParser(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/health", s.handleHealth)
+	mux.HandleFunc("/api/datasets", s.handleDatasets)
+	mux.HandleFunc("/api/datasets/", s.handleDatasetUpload)
+	mux.HandleFunc("/api/parse", s.handleParse)
+	mux.HandleFunc("/api/search", s.handleSearch)
+	s.mux = mux
+	return s
+}
+
+// Register adds (or replaces) a named dataset.
+func (s *Server) Register(name string, t *dataset.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[name] = t
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// datasetInfo describes a registered dataset.
+type datasetInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.RLock()
+	infos := make([]datasetInfo, 0, len(s.tables))
+	for name, t := range s.tables {
+		infos = append(infos, datasetInfo{Name: name, Rows: t.NumRows(), Columns: t.ColumnNames()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a CSV body")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/api/datasets/")
+	if name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusBadRequest, "dataset name must be a single path segment")
+		return
+	}
+	t, err := dataset.FromCSV(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.Register(name, t)
+	writeJSON(w, http.StatusCreated, datasetInfo{Name: name, Rows: t.NumRows(), Columns: t.ColumnNames()})
+}
+
+// parseRequest is the body of /api/parse and the query part of /api/search.
+type parseRequest struct {
+	// Kind is "regex", "nl" or "sketch".
+	Kind  string `json:"kind"`
+	Query string `json:"query,omitempty"`
+	// Sketch points (domain coordinates) for kind "sketch".
+	Sketch []shape.Point `json:"sketch,omitempty"`
+	// Exact selects precise L2 matching for sketches; the default infers a
+	// blurry pattern sequence.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// parseResponse echoes the structured interpretation for the correction
+// panel (Section 4, "Parsed ShapeQuery Validation").
+type parseResponse struct {
+	Canonical   string        `json:"canonical"`
+	Fuzzy       bool          `json:"fuzzy"`
+	Entities    []taggedToken `json:"entities,omitempty"`
+	Resolutions []string      `json:"resolutions,omitempty"`
+}
+
+type taggedToken struct {
+	Word   string `json:"word"`
+	POS    string `json:"pos"`
+	Entity string `json:"entity"`
+}
+
+func (s *Server) parseQuery(req parseRequest) (shape.Query, *parseResponse, error) {
+	switch req.Kind {
+	case "regex", "":
+		q, err := regexlang.Parse(req.Query)
+		if err != nil {
+			return shape.Query{}, nil, err
+		}
+		return q, &parseResponse{Canonical: q.String(), Fuzzy: q.IsFuzzy()}, nil
+	case "nl":
+		q, info, err := s.nl.Parse(req.Query)
+		resp := &parseResponse{}
+		if info != nil {
+			for _, tt := range info.Tagged {
+				resp.Entities = append(resp.Entities, taggedToken{
+					Word: tt.Token.Text, POS: string(tt.POS), Entity: tt.Entity,
+				})
+			}
+			resp.Resolutions = info.Resolutions
+		}
+		if err != nil {
+			return shape.Query{}, resp, err
+		}
+		resp.Canonical = q.String()
+		resp.Fuzzy = q.IsFuzzy()
+		return q, resp, nil
+	case "sketch":
+		var q shape.Query
+		var err error
+		if req.Exact {
+			q, err = sketch.ExactQuery(req.Sketch)
+		} else {
+			q, err = sketch.BlurryQuery(req.Sketch, sketch.DefaultConfig())
+		}
+		if err != nil {
+			return shape.Query{}, nil, err
+		}
+		return q, &parseResponse{Canonical: q.String(), Fuzzy: q.IsFuzzy()}, nil
+	default:
+		return shape.Query{}, nil, fmt.Errorf("unknown query kind %q (want regex, nl, or sketch)", req.Kind)
+	}
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req parseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	_, resp, err := s.parseQuery(req)
+	if err != nil {
+		// Parse errors still carry the partial interpretation so the
+		// correction panel can show what was understood.
+		payload := map[string]any{"error": err.Error()}
+		if resp != nil {
+			payload["partial"] = resp
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, payload)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// searchRequest is the body of /api/search.
+type searchRequest struct {
+	parseRequest
+	Dataset string       `json:"dataset"`
+	Z       string       `json:"z"`
+	X       string       `json:"x"`
+	Y       string       `json:"y"`
+	Agg     string       `json:"agg,omitempty"`
+	Filters []filterSpec `json:"filters,omitempty"`
+	K       int          `json:"k,omitempty"`
+	// Algorithm: auto, dp, segmenttree, greedy, dtw, euclidean.
+	Algorithm string `json:"algorithm,omitempty"`
+	Pruning   bool   `json:"pruning,omitempty"`
+	// MaxPoints caps the number of series points echoed per result
+	// (downsampled for plotting); 0 means 200.
+	MaxPoints int `json:"maxPoints,omitempty"`
+}
+
+type filterSpec struct {
+	Col   string  `json:"col"`
+	Op    string  `json:"op"`
+	Num   float64 `json:"num,omitempty"`
+	Str   string  `json:"str,omitempty"`
+	IsStr bool    `json:"isStr,omitempty"`
+}
+
+// searchResponse is the /api/search reply.
+type searchResponse struct {
+	Parse   parseResponse  `json:"parse"`
+	Results []searchResult `json:"results"`
+}
+
+type searchResult struct {
+	Z       string    `json:"z"`
+	Score   float64   `json:"score"`
+	BreakXs []float64 `json:"breakXs,omitempty"`
+	X       []float64 `json:"x"`
+	Y       []float64 `json:"y"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	s.mu.RLock()
+	tbl, ok := s.tables[req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", req.Dataset))
+		return
+	}
+	q, parseResp, err := s.parseQuery(req.parseRequest)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	spec, err := buildSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts := executor.DefaultOptions()
+	if req.K > 0 {
+		opts.K = req.K
+	}
+	opts.Pruning = req.Pruning
+	if alg, err := algorithmByName(req.Algorithm); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	} else {
+		opts.Algorithm = alg
+	}
+	results, err := executor.Search(tbl, spec, q, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	maxPts := req.MaxPoints
+	if maxPts <= 0 {
+		maxPts = 200
+	}
+	resp := searchResponse{Parse: *parseResp}
+	for _, res := range results {
+		x, y := downsample(res.Series.X, res.Series.Y, maxPts)
+		resp.Results = append(resp.Results, searchResult{
+			Z: res.Z, Score: res.Score, BreakXs: res.BreakXs, X: x, Y: y,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func buildSpec(req searchRequest) (dataset.ExtractSpec, error) {
+	spec := dataset.ExtractSpec{Z: req.Z, X: req.X, Y: req.Y}
+	switch req.Agg {
+	case "", "none":
+		spec.Agg = dataset.AggNone
+	case "avg":
+		spec.Agg = dataset.AggAvg
+	case "sum":
+		spec.Agg = dataset.AggSum
+	case "min":
+		spec.Agg = dataset.AggMin
+	case "max":
+		spec.Agg = dataset.AggMax
+	case "count":
+		spec.Agg = dataset.AggCount
+	default:
+		return spec, fmt.Errorf("unknown aggregation %q", req.Agg)
+	}
+	for _, f := range req.Filters {
+		op, err := opByName(f.Op)
+		if err != nil {
+			return spec, err
+		}
+		spec.Filters = append(spec.Filters, dataset.Filter{Col: f.Col, Op: op, Num: f.Num, Str: f.Str})
+	}
+	return spec, nil
+}
+
+func opByName(name string) (dataset.FilterOp, error) {
+	switch name {
+	case "=", "eq", "":
+		return dataset.Eq, nil
+	case "!=", "ne":
+		return dataset.Ne, nil
+	case "<", "lt":
+		return dataset.Lt, nil
+	case "<=", "le":
+		return dataset.Le, nil
+	case ">", "gt":
+		return dataset.Gt, nil
+	case ">=", "ge":
+		return dataset.Ge, nil
+	default:
+		return dataset.Eq, fmt.Errorf("unknown filter operator %q", name)
+	}
+}
+
+func algorithmByName(name string) (executor.Algorithm, error) {
+	switch name {
+	case "", "auto":
+		return executor.AlgAuto, nil
+	case "dp":
+		return executor.AlgDP, nil
+	case "segmenttree", "tree":
+		return executor.AlgSegmentTree, nil
+	case "greedy":
+		return executor.AlgGreedy, nil
+	case "exhaustive":
+		return executor.AlgExhaustive, nil
+	case "dtw":
+		return executor.AlgDTW, nil
+	case "euclidean":
+		return executor.AlgEuclidean, nil
+	default:
+		return executor.AlgAuto, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// downsample thins a series to at most n points, keeping endpoints.
+func downsample(x, y []float64, n int) ([]float64, []float64) {
+	if len(x) <= n {
+		return x, y
+	}
+	ox := make([]float64, 0, n)
+	oy := make([]float64, 0, n)
+	step := float64(len(x)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		j := int(float64(i) * step)
+		ox = append(ox, x[j])
+		oy = append(oy, y[j])
+	}
+	return ox, oy
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,202 @@
+package shape
+
+import "fmt"
+
+// Unit is one CONCAT-free sub-expression of a normalized query, scored over
+// a single VisualSegment. Weight is the unit's share of the chain's weighted
+// mean; weights within a chain sum to 1. Nested means (from grouped
+// sub-chains like a⊗(b⊗c)) surface as unequal weights, preserving the
+// paper's operator semantics.
+type Unit struct {
+	Node   *Node
+	Weight float64
+}
+
+// Chain is a normalized CONCAT chain of units, matched left to right over
+// consecutive VisualSegments.
+type Chain struct {
+	Units []Unit
+}
+
+// Len reports the number of units (the "k" of the paper's complexity
+// analyses).
+func (c Chain) Len() int { return len(c.Units) }
+
+// Score combines per-unit scores into the chain score: the weighted mean
+// that generalizes CONCAT's average.
+func (c Chain) Score(unitScores []float64) float64 {
+	var total float64
+	for i, u := range c.Units {
+		total += u.Weight * unitScores[i]
+	}
+	return total
+}
+
+// PinnedStart returns the pinned x.s of unit i if every x.s-bearing segment
+// in the unit agrees on a literal value.
+func (u Unit) PinnedStart() (float64, bool) { return pinned(u.Node, true) }
+
+// PinnedEnd returns the pinned x.e of unit i under the same rule.
+func (u Unit) PinnedEnd() (float64, bool) { return pinned(u.Node, false) }
+
+func pinned(n *Node, start bool) (float64, bool) {
+	var val float64
+	found := false
+	consistent := true
+	n.Walk(func(m *Node) {
+		if m.Kind != NodeSegment {
+			return
+		}
+		c := m.Seg.Loc.XS
+		if !start {
+			c = m.Seg.Loc.XE
+		}
+		if !c.Set || c.Iter {
+			return
+		}
+		if found && c.Value != val {
+			consistent = false
+			return
+		}
+		val, found = c.Value, true
+	})
+	if !found || !consistent {
+		return 0, false
+	}
+	return val, true
+}
+
+// IsFuzzy reports whether the unit lacks a pinned start or end (Section 6:
+// a fuzzy ShapeSegment has at least one x endpoint missing). Units built
+// from iterator segments locate themselves and are treated as non-fuzzy
+// only when fully pinned; iterators scan, so they count as fuzzy-free for
+// segmentation purposes but are evaluated over whichever region the chain
+// assigns them.
+func (u Unit) IsFuzzy() bool {
+	_, s := u.PinnedStart()
+	_, e := u.PinnedEnd()
+	return !(s && e)
+}
+
+// Normalized is the engine-facing form of a query: a set of alternative
+// chains. OR nodes whose branches contain CONCAT chains expand into
+// alternatives (max distributes over per-alternative optimal segmentation);
+// OR nodes over plain units stay inside a single unit.
+type Normalized struct {
+	Alternatives []Chain
+}
+
+// MaxUnits returns the longest chain length across alternatives.
+func (n Normalized) MaxUnits() int {
+	max := 0
+	for _, a := range n.Alternatives {
+		if a.Len() > max {
+			max = a.Len()
+		}
+	}
+	return max
+}
+
+// Normalize rewrites a validated query into alternative weighted CONCAT
+// chains. It returns an error for compositions the fuzzy engines cannot
+// segment (AND or OPPOSITE applied over CONCAT chains), which the paper's
+// algebra never produces either.
+func Normalize(q Query) (Normalized, error) {
+	if q.Root == nil {
+		return Normalized{}, fmt.Errorf("shape: cannot normalize empty query")
+	}
+	chains, err := normalizeNode(q.Root, 1.0)
+	if err != nil {
+		return Normalized{}, err
+	}
+	return Normalized{Alternatives: chains}, nil
+}
+
+func normalizeNode(n *Node, weight float64) ([]Chain, error) {
+	switch n.Kind {
+	case NodeSegment:
+		return []Chain{{Units: []Unit{{Node: n, Weight: weight}}}}, nil
+
+	case NodeConcat:
+		w := weight / float64(len(n.Children))
+		acc := []Chain{{}}
+		for _, c := range n.Children {
+			sub, err := normalizeNode(c, w)
+			if err != nil {
+				return nil, err
+			}
+			// Cross-concatenate: every accumulated prefix extends with every
+			// alternative of the child.
+			next := make([]Chain, 0, len(acc)*len(sub))
+			for _, pre := range acc {
+				for _, s := range sub {
+					units := make([]Unit, 0, len(pre.Units)+len(s.Units))
+					units = append(units, pre.Units...)
+					units = append(units, s.Units...)
+					next = append(next, Chain{Units: units})
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+
+	case NodeOr:
+		// If every branch is a single unit, the OR stays inside one unit so
+		// segmentation treats it atomically.
+		allUnit := true
+		var branches [][]Chain
+		for _, c := range n.Children {
+			sub, err := normalizeNode(c, weight)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, sub)
+			if len(sub) != 1 || sub[0].Len() != 1 {
+				allUnit = false
+			}
+		}
+		if allUnit {
+			return []Chain{{Units: []Unit{{Node: n, Weight: weight}}}}, nil
+		}
+		var out []Chain
+		for _, sub := range branches {
+			out = append(out, sub...)
+		}
+		return out, nil
+
+	case NodeAnd:
+		for _, c := range n.Children {
+			if containsConcat(c) {
+				return nil, fmt.Errorf("shape: AND over a CONCAT chain cannot be segmented; restructure the query")
+			}
+		}
+		return []Chain{{Units: []Unit{{Node: n, Weight: weight}}}}, nil
+
+	case NodeNot:
+		if containsConcat(n.Children[0]) {
+			return nil, fmt.Errorf("shape: OPPOSITE over a CONCAT chain cannot be segmented; restructure the query")
+		}
+		return []Chain{{Units: []Unit{{Node: n, Weight: weight}}}}, nil
+
+	default:
+		return nil, fmt.Errorf("shape: cannot normalize node kind %d", int(n.Kind))
+	}
+}
+
+// containsConcat reports whether the subtree holds a CONCAT node at any
+// depth outside nested pattern sub-queries (which are evaluated atomically
+// by the unit evaluator).
+func containsConcat(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Kind == NodeConcat {
+		return true
+	}
+	for _, c := range n.Children {
+		if containsConcat(c) {
+			return true
+		}
+	}
+	return false
+}

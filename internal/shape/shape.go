@@ -1,0 +1,781 @@
+// Package shape defines the ShapeQuery algebra: the structured internal
+// representation of a shape search query (Section 3 of the ShapeSearch
+// paper). A ShapeQuery is a tree of ShapeSegments — each describing one
+// pattern over one sub-region of a trendline — combined with the operators
+// CONCAT (⊗), AND (⊙), OR (⊕) and OPPOSITE (!). Each ShapeSegment carries
+// the shape primitives LOCATION, PATTERN, MODIFIER and SKETCH, with the
+// ITERATOR and POSITION sub-primitives.
+package shape
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PatternKind enumerates the PATTERN primitive values of Table 1.
+type PatternKind int
+
+const (
+	// PatNone means the segment specifies no pattern (location-only or
+	// sketch-only segments).
+	PatNone PatternKind = iota
+	// PatUp matches increasing trends.
+	PatUp
+	// PatDown matches decreasing trends.
+	PatDown
+	// PatFlat matches stable trends.
+	PatFlat
+	// PatSlope matches trends with a specific slope, in degrees (θ = x).
+	PatSlope
+	// PatAny ("*") matches anything with score 1.
+	PatAny
+	// PatEmpty matches nothing; always scores −1.
+	PatEmpty
+	// PatPosition references the pattern of another ShapeSegment ($k, $-, $+).
+	PatPosition
+	// PatUDP is a named user-defined pattern, treated as a black box.
+	PatUDP
+	// PatNested embeds a full sub-query as the pattern value.
+	PatNested
+)
+
+// String returns the canonical spelling of the pattern kind.
+func (k PatternKind) String() string {
+	switch k {
+	case PatNone:
+		return "none"
+	case PatUp:
+		return "up"
+	case PatDown:
+		return "down"
+	case PatFlat:
+		return "flat"
+	case PatSlope:
+		return "slope"
+	case PatAny:
+		return "*"
+	case PatEmpty:
+		return "empty"
+	case PatPosition:
+		return "$"
+	case PatUDP:
+		return "udp"
+	case PatNested:
+		return "nested"
+	default:
+		return fmt.Sprintf("PatternKind(%d)", int(k))
+	}
+}
+
+// PosRefKind says how a POSITION reference addresses another segment.
+type PosRefKind int
+
+const (
+	// RefAbs addresses a segment by absolute index: $0 is the first segment.
+	RefAbs PosRefKind = iota
+	// RefPrev addresses the immediately preceding segment ($-).
+	RefPrev
+	// RefNext addresses the immediately following segment ($+).
+	RefNext
+)
+
+// PosRef is a POSITION ($) reference to another ShapeSegment's pattern.
+type PosRef struct {
+	Kind  PosRefKind
+	Index int // used when Kind == RefAbs
+}
+
+// String renders the reference in regex syntax ($0, $-, $+).
+func (r PosRef) String() string {
+	switch r.Kind {
+	case RefPrev:
+		return "$-"
+	case RefNext:
+		return "$+"
+	default:
+		return fmt.Sprintf("$%d", r.Index)
+	}
+}
+
+// Pattern is the PATTERN primitive of a ShapeSegment.
+type Pattern struct {
+	Kind  PatternKind
+	Slope float64 // degrees, for PatSlope
+	Ref   PosRef  // for PatPosition
+	Name  string  // for PatUDP
+	Sub   *Node   // for PatNested
+}
+
+// String renders the pattern value in regex syntax.
+func (p Pattern) String() string {
+	switch p.Kind {
+	case PatUp:
+		return "up"
+	case PatDown:
+		return "down"
+	case PatFlat:
+		return "flat"
+	case PatSlope:
+		return trimFloat(p.Slope)
+	case PatAny:
+		return "*"
+	case PatEmpty:
+		return "empty"
+	case PatPosition:
+		return p.Ref.String()
+	case PatUDP:
+		return p.Name
+	case PatNested:
+		if p.Sub == nil {
+			return "[]"
+		}
+		return "[" + p.Sub.String() + "]"
+	default:
+		return ""
+	}
+}
+
+// ModifierKind enumerates the MODIFIER primitive values of Table 1.
+type ModifierKind int
+
+const (
+	// ModNone means no modifier.
+	ModNone ModifierKind = iota
+	// ModMore (>) requires the slope to exceed the referenced segment's, or
+	// marks a gradual up when used without a POSITION reference.
+	ModMore
+	// ModMuchMore (>>) is a sharper up / much-greater-slope constraint.
+	ModMuchMore
+	// ModLess (<) is the opposite of ModMore.
+	ModLess
+	// ModMuchLess (<<) is the opposite of ModMuchMore.
+	ModMuchLess
+	// ModEqual (=) requires similar slope to the referenced segment.
+	ModEqual
+	// ModMoreFactor (> f) requires slope ≥ f × the referenced segment's slope.
+	ModMoreFactor
+	// ModLessFactor (< f) requires slope ≤ f × the referenced segment's slope.
+	ModLessFactor
+	// ModQuantifier ({a,b}) requires between a and b occurrences of the
+	// pattern inside the segment's region.
+	ModQuantifier
+)
+
+// Modifier is the MODIFIER primitive of a ShapeSegment.
+type Modifier struct {
+	Kind   ModifierKind
+	Factor float64 // for ModMoreFactor / ModLessFactor
+	// Quantifier bounds; HasMin/HasMax distinguish {2,} from {2,5} from {,5}.
+	Min, Max       int
+	HasMin, HasMax bool
+}
+
+// IsZero reports whether no modifier is present.
+func (m Modifier) IsZero() bool { return m.Kind == ModNone }
+
+// String renders the modifier in regex syntax.
+func (m Modifier) String() string {
+	switch m.Kind {
+	case ModMore:
+		return ">"
+	case ModMuchMore:
+		return ">>"
+	case ModLess:
+		return "<"
+	case ModMuchLess:
+		return "<<"
+	case ModEqual:
+		return "="
+	case ModMoreFactor:
+		return ">" + trimFloat(m.Factor)
+	case ModLessFactor:
+		return "<" + trimFloat(m.Factor)
+	case ModQuantifier:
+		lo, hi := "", ""
+		if m.HasMin {
+			lo = fmt.Sprintf("%d", m.Min)
+		}
+		if m.HasMax {
+			hi = fmt.Sprintf("%d", m.Max)
+		}
+		if m.HasMin && m.HasMax && m.Min == m.Max {
+			return fmt.Sprintf("{%d}", m.Min)
+		}
+		return "{" + lo + "," + hi + "}"
+	default:
+		return ""
+	}
+}
+
+// Satisfies reports whether an occurrence count meets the quantifier bounds.
+func (m Modifier) Satisfies(count int) bool {
+	if m.Kind != ModQuantifier {
+		return true
+	}
+	if m.HasMin && count < m.Min {
+		return false
+	}
+	if m.HasMax && count > m.Max {
+		return false
+	}
+	return true
+}
+
+// Coord is one LOCATION sub-primitive endpoint (x.s, x.e, y.s or y.e).
+// A coordinate may be unset, a literal value, or the ITERATOR (".") with an
+// optional offset, as in x.e = . + 3.
+type Coord struct {
+	Set        bool
+	Value      float64
+	Iter       bool
+	IterOffset float64
+}
+
+// Lit returns a literal coordinate.
+func Lit(v float64) Coord { return Coord{Set: true, Value: v} }
+
+// IterCoord returns an iterator coordinate with the given offset
+// (offset 0 is plain ".").
+func IterCoord(offset float64) Coord {
+	return Coord{Set: true, Iter: true, IterOffset: offset}
+}
+
+// String renders the coordinate in regex syntax.
+func (c Coord) String() string {
+	if !c.Set {
+		return ""
+	}
+	if c.Iter {
+		if c.IterOffset == 0 {
+			return "."
+		}
+		return ".+" + trimFloat(c.IterOffset)
+	}
+	return trimFloat(c.Value)
+}
+
+// Location is the LOCATION primitive: the endpoints of the sub-region over
+// which a pattern is matched. Any subset of the four coordinates may be set.
+type Location struct {
+	XS, XE, YS, YE Coord
+}
+
+// IsZero reports whether no coordinate is set.
+func (l Location) IsZero() bool {
+	return !l.XS.Set && !l.XE.Set && !l.YS.Set && !l.YE.Set
+}
+
+// HasIterator reports whether either x coordinate uses the ITERATOR.
+func (l Location) HasIterator() bool { return l.XS.Iter || l.XE.Iter }
+
+// XPinned reports whether both x endpoints are fixed literals, which makes
+// the owning segment non-fuzzy per Section 6.
+func (l Location) XPinned() bool {
+	return l.XS.Set && !l.XS.Iter && l.XE.Set && !l.XE.Iter
+}
+
+// Point is one (x, y) sample of a sketched trendline.
+type Point struct {
+	X, Y float64
+}
+
+// Segment is a ShapeSegment: the part of a query describing an individual
+// pattern over one visual segment. Every segment is implicitly bound to the
+// MATCH ([ ]) operator.
+type Segment struct {
+	Loc    Location
+	Pat    Pattern
+	Mod    Modifier
+	Sketch []Point // SKETCH primitive (v); empty when unused
+}
+
+// IsFuzzy reports whether the segment is fuzzy: at least one of the start or
+// end x locations is missing (Section 6). Iterator coordinates make the
+// segment self-locating, not fuzzy, because the iterator enumerates its own
+// windows.
+func (s *Segment) IsFuzzy() bool {
+	if s.Loc.HasIterator() {
+		return false
+	}
+	return !s.Loc.XS.Set || !s.Loc.XE.Set
+}
+
+// String renders the segment in regex syntax, e.g.
+// [x.s=2, x.e=5, p=up, m=>>].
+func (s *Segment) String() string {
+	var parts []string
+	if s.Loc.XS.Set {
+		parts = append(parts, "x.s="+s.Loc.XS.String())
+	}
+	if s.Loc.XE.Set {
+		parts = append(parts, "x.e="+s.Loc.XE.String())
+	}
+	if s.Loc.YS.Set {
+		parts = append(parts, "y.s="+s.Loc.YS.String())
+	}
+	if s.Loc.YE.Set {
+		parts = append(parts, "y.e="+s.Loc.YE.String())
+	}
+	if s.Pat.Kind != PatNone {
+		parts = append(parts, "p="+s.Pat.String())
+	}
+	if !s.Mod.IsZero() {
+		parts = append(parts, "m="+s.Mod.String())
+	}
+	if len(s.Sketch) > 0 {
+		var sb strings.Builder
+		sb.WriteString("v=(")
+		for i, pt := range s.Sketch {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(trimFloat(pt.X))
+			sb.WriteByte(':')
+			sb.WriteString(trimFloat(pt.Y))
+		}
+		sb.WriteByte(')')
+		parts = append(parts, sb.String())
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// NodeKind enumerates the operator node types of the query tree.
+type NodeKind int
+
+const (
+	// NodeSegment is a leaf MATCH node wrapping one ShapeSegment.
+	NodeSegment NodeKind = iota
+	// NodeConcat is the CONCAT (⊗) operator: a sequence of sub-shapes over
+	// consecutive visual segments.
+	NodeConcat
+	// NodeAnd is the AND (⊙) operator: all sub-shapes over the same region.
+	NodeAnd
+	// NodeOr is the OR (⊕) operator: the best sub-shape over the same region.
+	NodeOr
+	// NodeNot is the OPPOSITE (!) operator.
+	NodeNot
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeSegment:
+		return "MATCH"
+	case NodeConcat:
+		return "CONCAT"
+	case NodeAnd:
+		return "AND"
+	case NodeOr:
+		return "OR"
+	case NodeNot:
+		return "OPPOSITE"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one node of a ShapeQuery abstract syntax tree.
+type Node struct {
+	Kind     NodeKind
+	Seg      *Segment // for NodeSegment
+	Children []*Node  // for operator nodes
+}
+
+// Query is a parsed, validated ShapeQuery.
+type Query struct {
+	Root *Node
+}
+
+// Seg builds a leaf node around a segment.
+func Seg(s Segment) *Node { return &Node{Kind: NodeSegment, Seg: &s} }
+
+// Concat builds a CONCAT node. Single-child concats collapse to the child.
+func Concat(children ...*Node) *Node { return opNode(NodeConcat, children) }
+
+// And builds an AND node.
+func And(children ...*Node) *Node { return opNode(NodeAnd, children) }
+
+// Or builds an OR node.
+func Or(children ...*Node) *Node { return opNode(NodeOr, children) }
+
+// Not builds an OPPOSITE node.
+func Not(child *Node) *Node {
+	return &Node{Kind: NodeNot, Children: []*Node{child}}
+}
+
+func opNode(kind NodeKind, children []*Node) *Node {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Node{Kind: kind, Children: children}
+}
+
+// PatternSeg is a convenience constructor for a bare-pattern segment like
+// [p=up].
+func PatternSeg(kind PatternKind) *Node {
+	return Seg(Segment{Pat: Pattern{Kind: kind}})
+}
+
+// SlopeSeg is a convenience constructor for [p=θ] with θ in degrees.
+func SlopeSeg(deg float64) *Node {
+	return Seg(Segment{Pat: Pattern{Kind: PatSlope, Slope: deg}})
+}
+
+// String renders the node in canonical regex syntax. Operator spellings use
+// the ASCII forms accepted by the parser: implicit juxtaposition would also
+// parse, but the canonical form is explicit.
+func (n *Node) String() string {
+	if n == nil {
+		return ""
+	}
+	switch n.Kind {
+	case NodeSegment:
+		return n.Seg.String()
+	case NodeNot:
+		return "!" + n.childString(0, true)
+	case NodeConcat:
+		return n.joinChildren("")
+	case NodeAnd:
+		return n.joinChildren(" & ")
+	case NodeOr:
+		return n.joinChildren(" | ")
+	default:
+		return ""
+	}
+}
+
+func (n *Node) joinChildren(sep string) string {
+	parts := make([]string, len(n.Children))
+	for i := range n.Children {
+		parts[i] = n.childString(i, false)
+	}
+	return strings.Join(parts, sep)
+}
+
+// childString parenthesizes children whose operator binds less tightly than
+// the parent, so String round-trips through the parser.
+func (n *Node) childString(i int, unary bool) string {
+	c := n.Children[i]
+	s := c.String()
+	if needsParens(n.Kind, c.Kind, unary) {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// precedence: NOT > CONCAT > AND > OR.
+func prec(k NodeKind) int {
+	switch k {
+	case NodeOr:
+		return 1
+	case NodeAnd:
+		return 2
+	case NodeConcat:
+		return 3
+	case NodeNot:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func needsParens(parent, child NodeKind, unary bool) bool {
+	if child == NodeSegment {
+		return false
+	}
+	if unary {
+		return child != NodeNot
+	}
+	// Same-kind nesting keeps its parentheses: grouping is semantically
+	// meaningful for CONCAT (nested means weight sub-chains differently),
+	// and preserving it everywhere makes String/Parse exact inverses.
+	return prec(child) < prec(parent) || child == parent
+}
+
+// String renders the query in canonical regex syntax.
+func (q Query) String() string {
+	if q.Root == nil {
+		return ""
+	}
+	return q.Root.String()
+}
+
+// Clone deep-copies a node tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Kind: n.Kind}
+	if n.Seg != nil {
+		seg := *n.Seg
+		if n.Seg.Sketch != nil {
+			seg.Sketch = append([]Point(nil), n.Seg.Sketch...)
+		}
+		if n.Seg.Pat.Sub != nil {
+			seg.Pat.Sub = n.Seg.Pat.Sub.Clone()
+		}
+		cp.Seg = &seg
+	}
+	if n.Children != nil {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return cp
+}
+
+// Clone deep-copies the query.
+func (q Query) Clone() Query { return Query{Root: q.Root.Clone()} }
+
+// Walk visits every node in the tree in depth-first pre-order, descending
+// into nested pattern sub-queries as well.
+func (n *Node) Walk(visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	if n.Seg != nil && n.Seg.Pat.Sub != nil {
+		n.Seg.Pat.Sub.Walk(visit)
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Segments returns the segments of the tree in left-to-right order,
+// not descending into nested sub-queries.
+func (n *Node) Segments() []*Segment {
+	var segs []*Segment
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.Kind == NodeSegment {
+			segs = append(segs, m.Seg)
+			return
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return segs
+}
+
+// IsFuzzy reports whether any segment in the query is fuzzy — missing at
+// least one of the start or end x locations (Section 6).
+func (q Query) IsFuzzy() bool {
+	fuzzy := false
+	q.Root.Walk(func(n *Node) {
+		if n.Kind == NodeSegment && n.Seg.IsFuzzy() {
+			fuzzy = true
+		}
+	})
+	return fuzzy
+}
+
+// HasPositionRefs reports whether any segment uses the POSITION primitive.
+func (q Query) HasPositionRefs() bool {
+	found := false
+	q.Root.Walk(func(n *Node) {
+		if n.Kind == NodeSegment && n.Seg.Pat.Kind == PatPosition {
+			found = true
+		}
+	})
+	return found
+}
+
+// XRanges collects the literal [x.s, x.e] windows referenced anywhere in the
+// query. The executor's push-down optimizations use these to prune data
+// outside referenced ranges (Section 5.4). ok is false if any segment lacks
+// a pinned window, in which case the whole x domain is needed.
+func (q Query) XRanges() (ranges [][2]float64, ok bool) {
+	ok = true
+	q.Root.Walk(func(n *Node) {
+		if n.Kind != NodeSegment {
+			return
+		}
+		l := n.Seg.Loc
+		if l.XPinned() {
+			ranges = append(ranges, [2]float64{l.XS.Value, l.XE.Value})
+		} else {
+			ok = false
+		}
+	})
+	return ranges, ok
+}
+
+// HasYConstraints reports whether any segment constrains y values, which
+// disables z-score normalization in GROUP (Section 5.3).
+func (q Query) HasYConstraints() bool {
+	found := false
+	q.Root.Walk(func(n *Node) {
+		if n.Kind != NodeSegment {
+			return
+		}
+		if n.Seg.Loc.YS.Set || n.Seg.Loc.YE.Set {
+			found = true
+		}
+		if len(n.Seg.Sketch) > 0 {
+			found = true
+		}
+	})
+	return found
+}
+
+// Validate checks structural invariants of the query tree and returns a
+// descriptive error for the first violation found. A validated query is safe
+// to normalize and execute.
+func (q Query) Validate() error {
+	if q.Root == nil {
+		return fmt.Errorf("shape: empty query")
+	}
+	return validateNode(q.Root, 0)
+}
+
+func validateNode(n *Node, depth int) error {
+	if depth > 32 {
+		return fmt.Errorf("shape: query nesting exceeds depth 32")
+	}
+	switch n.Kind {
+	case NodeSegment:
+		if n.Seg == nil {
+			return fmt.Errorf("shape: segment node without segment")
+		}
+		return validateSegment(n.Seg, depth)
+	case NodeNot:
+		if len(n.Children) != 1 {
+			return fmt.Errorf("shape: OPPOSITE requires exactly one operand, got %d", len(n.Children))
+		}
+	case NodeConcat, NodeAnd, NodeOr:
+		if len(n.Children) < 2 {
+			return fmt.Errorf("shape: %s requires at least two operands, got %d", n.Kind, len(n.Children))
+		}
+	default:
+		return fmt.Errorf("shape: unknown node kind %d", int(n.Kind))
+	}
+	for _, c := range n.Children {
+		if err := validateNode(c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateSegment(s *Segment, depth int) error {
+	if s.Pat.Kind == PatNone && s.Loc.IsZero() && len(s.Sketch) == 0 {
+		return fmt.Errorf("shape: segment specifies no pattern, location, or sketch")
+	}
+	if s.Pat.Kind == PatSlope {
+		if math.IsNaN(s.Pat.Slope) || s.Pat.Slope <= -90 || s.Pat.Slope >= 90 {
+			return fmt.Errorf("shape: slope pattern must be in (-90, 90) degrees, got %v", s.Pat.Slope)
+		}
+	}
+	if s.Pat.Kind == PatUDP && s.Pat.Name == "" {
+		return fmt.Errorf("shape: user-defined pattern requires a name")
+	}
+	if s.Pat.Kind == PatNested {
+		if s.Pat.Sub == nil {
+			return fmt.Errorf("shape: nested pattern requires a sub-query")
+		}
+		if err := validateNode(s.Pat.Sub, depth+1); err != nil {
+			return err
+		}
+	}
+	if s.Pat.Kind == PatPosition && s.Pat.Ref.Kind == RefAbs && s.Pat.Ref.Index < 0 {
+		return fmt.Errorf("shape: position reference index must be non-negative, got %d", s.Pat.Ref.Index)
+	}
+	l := s.Loc
+	if l.XS.Set && l.XE.Set && !l.XS.Iter && !l.XE.Iter && l.XS.Value > l.XE.Value {
+		return fmt.Errorf("shape: x.s (%v) must not exceed x.e (%v)", l.XS.Value, l.XE.Value)
+	}
+	if l.XE.Iter && !l.XS.Iter {
+		return fmt.Errorf("shape: x.e iterator requires x.s iterator")
+	}
+	if l.XS.Iter && l.XS.IterOffset != 0 {
+		return fmt.Errorf("shape: x.s iterator must not carry an offset")
+	}
+	if l.XS.Iter && l.XE.Set && !l.XE.Iter {
+		return fmt.Errorf("shape: x.s iterator requires x.e to be an iterator offset")
+	}
+	if l.XE.Iter && l.XE.IterOffset < 1 {
+		return fmt.Errorf("shape: iterator window width must be >= 1, got %v", l.XE.IterOffset)
+	}
+	m := s.Mod
+	if m.Kind == ModQuantifier {
+		if !m.HasMin && !m.HasMax {
+			return fmt.Errorf("shape: quantifier requires at least one bound")
+		}
+		if m.HasMin && m.Min < 0 || m.HasMax && m.Max < 0 {
+			return fmt.Errorf("shape: quantifier bounds must be non-negative")
+		}
+		if m.HasMin && m.HasMax && m.Min > m.Max {
+			return fmt.Errorf("shape: quantifier min (%d) exceeds max (%d)", m.Min, m.Max)
+		}
+	}
+	if (m.Kind == ModMoreFactor || m.Kind == ModLessFactor) && m.Factor <= 0 {
+		return fmt.Errorf("shape: modifier factor must be positive, got %v", m.Factor)
+	}
+	for i := 1; i < len(s.Sketch); i++ {
+		if s.Sketch[i].X < s.Sketch[i-1].X {
+			return fmt.Errorf("shape: sketch points must be sorted by x")
+		}
+	}
+	return nil
+}
+
+// Equal reports structural equality of two trees.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Kind != o.Kind || len(n.Children) != len(o.Children) {
+		return false
+	}
+	if (n.Seg == nil) != (o.Seg == nil) {
+		return false
+	}
+	if n.Seg != nil && !segEqual(n.Seg, o.Seg) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func segEqual(a, b *Segment) bool {
+	if a.Loc != b.Loc || a.Mod != b.Mod {
+		return false
+	}
+	if a.Pat.Kind != b.Pat.Kind || a.Pat.Slope != b.Pat.Slope ||
+		a.Pat.Ref != b.Pat.Ref || a.Pat.Name != b.Pat.Name {
+		return false
+	}
+	if (a.Pat.Sub == nil) != (b.Pat.Sub == nil) {
+		return false
+	}
+	if a.Pat.Sub != nil && !a.Pat.Sub.Equal(b.Pat.Sub) {
+		return false
+	}
+	if len(a.Sketch) != len(b.Sketch) {
+		return false
+	}
+	for i := range a.Sketch {
+		if a.Sketch[i] != b.Sketch[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// trimFloat formats a float without trailing zeros.
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

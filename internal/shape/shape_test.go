@@ -1,0 +1,377 @@
+package shape
+
+import (
+	"strings"
+	"testing"
+)
+
+func up() *Node   { return PatternSeg(PatUp) }
+func down() *Node { return PatternSeg(PatDown) }
+func flat() *Node { return PatternSeg(PatFlat) }
+
+func TestSegmentString(t *testing.T) {
+	cases := []struct {
+		seg  Segment
+		want string
+	}{
+		{Segment{Pat: Pattern{Kind: PatUp}}, "[p=up]"},
+		{Segment{Pat: Pattern{Kind: PatSlope, Slope: 45}}, "[p=45]"},
+		{
+			Segment{
+				Loc: Location{XS: Lit(2), XE: Lit(5)},
+				Pat: Pattern{Kind: PatUp},
+			},
+			"[x.s=2, x.e=5, p=up]",
+		},
+		{
+			Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModMuchMore}},
+			"[p=up, m=>>]",
+		},
+		{
+			Segment{
+				Pat: Pattern{Kind: PatUp},
+				Mod: Modifier{Kind: ModQuantifier, Min: 2, HasMin: true},
+			},
+			"[p=up, m={2,}]",
+		},
+		{
+			Segment{
+				Loc: Location{XS: IterCoord(0), XE: IterCoord(3)},
+				Pat: Pattern{Kind: PatUp},
+			},
+			"[x.s=., x.e=.+3, p=up]",
+		},
+		{
+			Segment{Pat: Pattern{Kind: PatPosition, Ref: PosRef{Kind: RefAbs, Index: 0}}, Mod: Modifier{Kind: ModLess}},
+			"[p=$0, m=<]",
+		},
+		{
+			Segment{Sketch: []Point{{2, 10}, {3, 14}}},
+			"[v=(2:10,3:14)]",
+		},
+	}
+	for _, c := range cases {
+		if got := c.seg.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestQueryStringPrecedence(t *testing.T) {
+	// a ⊗ (b ⊕ (c ⊗ d)) — the running example of the paper.
+	q := Query{Root: Concat(up(), Or(flat(), Concat(down(), up())))}
+	got := q.String()
+	want := "[p=up]([p=flat] | [p=down][p=up])"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestNotString(t *testing.T) {
+	q := Query{Root: Not(flat())}
+	if got := q.String(); got != "![p=flat]" {
+		t.Errorf("String() = %q", got)
+	}
+	q = Query{Root: Not(Concat(up(), down()))}
+	if got := q.String(); got != "!([p=up][p=down])" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	good := []Query{
+		{Root: up()},
+		{Root: Concat(up(), down(), up())},
+		{Root: And(up(), Not(flat()))},
+		{Root: Seg(Segment{Loc: Location{XS: Lit(1), XE: Lit(5)}})},
+		{Root: Seg(Segment{
+			Loc: Location{XS: IterCoord(0), XE: IterCoord(3)},
+			Pat: Pattern{Kind: PatUp},
+		})},
+		{Root: Seg(Segment{Pat: Pattern{Kind: PatNested, Sub: Concat(up(), down())}})},
+		{Root: Seg(Segment{Sketch: []Point{{0, 1}, {1, 2}}})},
+	}
+	for i, q := range good {
+		if err := q.Validate(); err != nil {
+			t.Errorf("case %d: unexpected error: %v", i, err)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Query
+		want string
+	}{
+		{"empty", Query{}, "empty query"},
+		{"no primitives", Query{Root: Seg(Segment{})}, "no pattern"},
+		{"bad slope", Query{Root: SlopeSeg(95)}, "slope pattern"},
+		{"udp no name", Query{Root: Seg(Segment{Pat: Pattern{Kind: PatUDP}})}, "requires a name"},
+		{"nested nil", Query{Root: Seg(Segment{Pat: Pattern{Kind: PatNested}})}, "sub-query"},
+		{"neg ref", Query{Root: Seg(Segment{Pat: Pattern{Kind: PatPosition, Ref: PosRef{Kind: RefAbs, Index: -1}}})}, "non-negative"},
+		{
+			"inverted x",
+			Query{Root: Seg(Segment{Loc: Location{XS: Lit(9), XE: Lit(2)}, Pat: Pattern{Kind: PatUp}})},
+			"must not exceed",
+		},
+		{
+			"iter end without start",
+			Query{Root: Seg(Segment{Loc: Location{XE: IterCoord(3)}, Pat: Pattern{Kind: PatUp}})},
+			"requires x.s iterator",
+		},
+		{
+			"iter zero width",
+			Query{Root: Seg(Segment{Loc: Location{XS: IterCoord(0), XE: IterCoord(0)}, Pat: Pattern{Kind: PatUp}})},
+			"width",
+		},
+		{
+			"quantifier no bounds",
+			Query{Root: Seg(Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModQuantifier}})},
+			"at least one bound",
+		},
+		{
+			"quantifier inverted",
+			Query{Root: Seg(Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModQuantifier, Min: 5, Max: 2, HasMin: true, HasMax: true}})},
+			"exceeds max",
+		},
+		{
+			"factor nonpositive",
+			Query{Root: Seg(Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModMoreFactor, Factor: 0}})},
+			"must be positive",
+		},
+		{
+			"unsorted sketch",
+			Query{Root: Seg(Segment{Sketch: []Point{{5, 1}, {2, 2}}})},
+			"sorted by x",
+		},
+	}
+	for _, c := range cases {
+		err := c.q.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestIsFuzzy(t *testing.T) {
+	fuzzy := Query{Root: Concat(up(), down())}
+	if !fuzzy.IsFuzzy() {
+		t.Error("pattern-only query should be fuzzy")
+	}
+	pinned := Query{Root: Seg(Segment{
+		Loc: Location{XS: Lit(0), XE: Lit(10)},
+		Pat: Pattern{Kind: PatUp},
+	})}
+	if pinned.IsFuzzy() {
+		t.Error("fully pinned query should not be fuzzy")
+	}
+}
+
+func TestXRanges(t *testing.T) {
+	q := Query{Root: Concat(
+		Seg(Segment{Loc: Location{XS: Lit(50), XE: Lit(100)}, Pat: Pattern{Kind: PatUp}}),
+		down(),
+	)}
+	ranges, all := q.XRanges()
+	if all {
+		t.Error("query with a fuzzy segment should report ok=false")
+	}
+	if len(ranges) != 1 || ranges[0] != [2]float64{50, 100} {
+		t.Errorf("ranges = %v", ranges)
+	}
+
+	q2 := Query{Root: Seg(Segment{Loc: Location{XS: Lit(1), XE: Lit(4)}, Pat: Pattern{Kind: PatDown}})}
+	ranges, all = q2.XRanges()
+	if !all || len(ranges) != 1 {
+		t.Errorf("ranges = %v, all = %v", ranges, all)
+	}
+}
+
+func TestHasYConstraints(t *testing.T) {
+	if (Query{Root: up()}).HasYConstraints() {
+		t.Error("plain up has no y constraints")
+	}
+	q := Query{Root: Seg(Segment{Loc: Location{YS: Lit(10), YE: Lit(100), XS: Lit(0), XE: Lit(5)}})}
+	if !q.HasYConstraints() {
+		t.Error("y-pinned query should report y constraints")
+	}
+	qs := Query{Root: Seg(Segment{Sketch: []Point{{0, 0}, {1, 1}}})}
+	if !qs.HasYConstraints() {
+		t.Error("sketch query compares raw values; should report y constraints")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	q := Query{Root: Concat(
+		Seg(Segment{Loc: Location{XS: Lit(2), XE: Lit(5)}, Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModMuchMore}}),
+		Or(flat(), Seg(Segment{Pat: Pattern{Kind: PatNested, Sub: Concat(down(), up())}})),
+	)}
+	cp := q.Clone()
+	if !q.Root.Equal(cp.Root) {
+		t.Fatal("clone should be structurally equal")
+	}
+	// Mutating the clone must not affect the original.
+	cp.Root.Children[0].Seg.Pat.Kind = PatDown
+	if q.Root.Equal(cp.Root) {
+		t.Fatal("mutated clone should differ")
+	}
+}
+
+func TestQuantifierSatisfies(t *testing.T) {
+	atLeast2 := Modifier{Kind: ModQuantifier, Min: 2, HasMin: true}
+	atMost2 := Modifier{Kind: ModQuantifier, Max: 2, HasMax: true}
+	between := Modifier{Kind: ModQuantifier, Min: 2, Max: 5, HasMin: true, HasMax: true}
+	if atLeast2.Satisfies(1) || !atLeast2.Satisfies(2) || !atLeast2.Satisfies(9) {
+		t.Error("at-least bounds wrong")
+	}
+	if !atMost2.Satisfies(0) || !atMost2.Satisfies(2) || atMost2.Satisfies(3) {
+		t.Error("at-most bounds wrong")
+	}
+	if between.Satisfies(1) || !between.Satisfies(3) || between.Satisfies(6) {
+		t.Error("between bounds wrong")
+	}
+}
+
+func TestNormalizeSingleSegment(t *testing.T) {
+	n, err := Normalize(Query{Root: up()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Alternatives) != 1 || n.Alternatives[0].Len() != 1 {
+		t.Fatalf("got %+v", n)
+	}
+	if w := n.Alternatives[0].Units[0].Weight; w != 1 {
+		t.Fatalf("weight = %v, want 1", w)
+	}
+}
+
+func TestNormalizeFlatConcat(t *testing.T) {
+	n, err := Normalize(Query{Root: Concat(up(), down(), up())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Alternatives) != 1 {
+		t.Fatalf("alternatives = %d, want 1", len(n.Alternatives))
+	}
+	c := n.Alternatives[0]
+	if c.Len() != 3 {
+		t.Fatalf("units = %d, want 3", c.Len())
+	}
+	for _, u := range c.Units {
+		if !almost(u.Weight, 1.0/3) {
+			t.Fatalf("weight = %v, want 1/3", u.Weight)
+		}
+	}
+}
+
+func TestNormalizeNestedOrExpansion(t *testing.T) {
+	// a ⊗ (b ⊕ (c ⊗ d)) expands into {a:1/2, b:1/2} and {a:1/2, c:1/4, d:1/4}.
+	q := Query{Root: Concat(up(), Or(flat(), Concat(down(), up())))}
+	n, err := Normalize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Alternatives) != 2 {
+		t.Fatalf("alternatives = %d, want 2", len(n.Alternatives))
+	}
+	var two, three Chain
+	for _, a := range n.Alternatives {
+		switch a.Len() {
+		case 2:
+			two = a
+		case 3:
+			three = a
+		default:
+			t.Fatalf("unexpected chain length %d", a.Len())
+		}
+	}
+	if !almost(two.Units[0].Weight, 0.5) || !almost(two.Units[1].Weight, 0.5) {
+		t.Errorf("two-unit weights = %v, %v", two.Units[0].Weight, two.Units[1].Weight)
+	}
+	if !almost(three.Units[0].Weight, 0.5) || !almost(three.Units[1].Weight, 0.25) || !almost(three.Units[2].Weight, 0.25) {
+		t.Errorf("three-unit weights = %v %v %v",
+			three.Units[0].Weight, three.Units[1].Weight, three.Units[2].Weight)
+	}
+	if n.MaxUnits() != 3 {
+		t.Errorf("MaxUnits = %d, want 3", n.MaxUnits())
+	}
+}
+
+func TestNormalizeOrOfUnitsStaysAtomic(t *testing.T) {
+	// up ⊕ down has no chains inside, so it stays a single unit.
+	n, err := Normalize(Query{Root: Or(up(), down())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Alternatives) != 1 || n.Alternatives[0].Len() != 1 {
+		t.Fatalf("got %d alternatives, first len %d", len(n.Alternatives), n.Alternatives[0].Len())
+	}
+	if n.Alternatives[0].Units[0].Node.Kind != NodeOr {
+		t.Fatal("unit should be the OR node itself")
+	}
+}
+
+func TestNormalizeAndOverChainErrors(t *testing.T) {
+	q := Query{Root: And(up(), Concat(down(), up()))}
+	if _, err := Normalize(q); err == nil {
+		t.Fatal("expected error for AND over CONCAT")
+	}
+	q = Query{Root: Not(Concat(down(), up()))}
+	if _, err := Normalize(q); err == nil {
+		t.Fatal("expected error for OPPOSITE over CONCAT")
+	}
+}
+
+func TestChainScoreWeightedMean(t *testing.T) {
+	c := Chain{Units: []Unit{{Weight: 0.5}, {Weight: 0.25}, {Weight: 0.25}}}
+	got := c.Score([]float64{1, -1, 0.5})
+	want := 0.5*1 + 0.25*-1 + 0.25*0.5
+	if !almost(got, want) {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestUnitPins(t *testing.T) {
+	u := Unit{Node: Seg(Segment{Loc: Location{XS: Lit(50), XE: Lit(100)}, Pat: Pattern{Kind: PatUp}})}
+	s, ok := u.PinnedStart()
+	if !ok || s != 50 {
+		t.Fatalf("PinnedStart = %v, %v", s, ok)
+	}
+	e, ok := u.PinnedEnd()
+	if !ok || e != 100 {
+		t.Fatalf("PinnedEnd = %v, %v", e, ok)
+	}
+	if u.IsFuzzy() {
+		t.Error("pinned unit should not be fuzzy")
+	}
+	free := Unit{Node: up()}
+	if _, ok := free.PinnedStart(); ok {
+		t.Error("free unit has no pinned start")
+	}
+	if !free.IsFuzzy() {
+		t.Error("free unit should be fuzzy")
+	}
+}
+
+func TestHasPositionRefs(t *testing.T) {
+	q := Query{Root: Concat(up(), Seg(Segment{Pat: Pattern{Kind: PatPosition, Ref: PosRef{Kind: RefAbs}}, Mod: Modifier{Kind: ModLess}}))}
+	if !q.HasPositionRefs() {
+		t.Error("expected position refs")
+	}
+	if (Query{Root: up()}).HasPositionRefs() {
+		t.Error("did not expect position refs")
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -1,0 +1,234 @@
+// Package sketch implements ShapeSearch's sketching interface (Section 2):
+// translating canvas pixels into domain coordinates, building precise-match
+// sketch queries, and inferring blurry pattern-sequence queries from a
+// drawing via bottom-up piecewise-linear segmentation — the "multiple line
+// segments that ShapeSearch can automatically infer from the user-drawn
+// sketch" (Section 5.2).
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"shapesearch/internal/segstat"
+	"shapesearch/internal/shape"
+)
+
+// Canvas describes the drawing surface and the domain window it maps onto.
+// Pixel y grows downward (screen convention); domain y grows upward.
+type Canvas struct {
+	Width, Height float64
+	XMin, XMax    float64
+	YMin, YMax    float64
+}
+
+// Pixel is one sampled point of the user's stroke in canvas coordinates.
+type Pixel struct {
+	PX, PY float64
+}
+
+// ToDomain translates stroke pixels into domain-coordinate sketch points,
+// sorted by x with duplicate x positions averaged (strokes often wiggle
+// backwards a pixel or two).
+func (c Canvas) ToDomain(stroke []Pixel) ([]shape.Point, error) {
+	if c.Width <= 0 || c.Height <= 0 {
+		return nil, fmt.Errorf("sketch: canvas dimensions must be positive")
+	}
+	if c.XMax <= c.XMin || c.YMax <= c.YMin {
+		return nil, fmt.Errorf("sketch: domain window must be non-empty")
+	}
+	if len(stroke) == 0 {
+		return nil, fmt.Errorf("sketch: empty stroke")
+	}
+	pts := make([]shape.Point, 0, len(stroke))
+	for _, p := range stroke {
+		x := c.XMin + p.PX/c.Width*(c.XMax-c.XMin)
+		y := c.YMax - p.PY/c.Height*(c.YMax-c.YMin)
+		pts = append(pts, shape.Point{X: x, Y: y})
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	// Average duplicate x positions.
+	out := pts[:0]
+	for i := 0; i < len(pts); {
+		j := i
+		var sum float64
+		for j < len(pts) && pts[j].X == pts[i].X {
+			sum += pts[j].Y
+			j++
+		}
+		out = append(out, shape.Point{X: pts[i].X, Y: sum / float64(j-i)})
+		i = j
+	}
+	return out, nil
+}
+
+// ExactQuery wraps sketch points into a precise-match ShapeQuery scored
+// with the L2 norm (Table 5, "v").
+func ExactQuery(points []shape.Point) (shape.Query, error) {
+	if len(points) < 2 {
+		return shape.Query{}, fmt.Errorf("sketch: need at least two points, got %d", len(points))
+	}
+	q := shape.Query{Root: shape.Seg(shape.Segment{Sketch: points})}
+	if err := q.Validate(); err != nil {
+		return shape.Query{}, err
+	}
+	return q, nil
+}
+
+// Config controls blurry-query inference.
+type Config struct {
+	// MaxSegments caps the inferred pattern sequence length (default 4).
+	MaxSegments int
+	// Tolerance is the relative fit-error threshold that stops merging
+	// early: merging continues while the cheapest merge adds less than
+	// Tolerance × the sketch's y variance (default 0.05).
+	Tolerance float64
+	// KeepSlopes emits θ=angle patterns preserving the drawn slopes;
+	// otherwise segments map to up/down/flat (the blurrier default).
+	KeepSlopes bool
+	// FlatAngle is the |angle| in degrees below which a leg reads as flat
+	// (default 10).
+	FlatAngle float64
+}
+
+// DefaultConfig returns the system defaults.
+func DefaultConfig() Config {
+	return Config{MaxSegments: 4, Tolerance: 0.05, FlatAngle: 10}
+}
+
+// Leg is one inferred line segment of a sketch.
+type Leg struct {
+	// StartIdx and EndIdx are inclusive indices into the sketch points.
+	StartIdx, EndIdx int
+	// AngleDeg is the fitted angle in normalized chart space.
+	AngleDeg float64
+}
+
+// Infer segments the sketch into legs by bottom-up merging: start from
+// minimal segments and repeatedly merge the adjacent pair whose combined
+// line fit adds the least squared error.
+func Infer(points []shape.Point, cfg Config) ([]Leg, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("sketch: need at least two points, got %d", len(points))
+	}
+	if cfg.MaxSegments <= 0 {
+		cfg.MaxSegments = 4
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.05
+	}
+	// Normalize into chart space: x spans 4 units, y is z-scored, so
+	// angles mean the same thing they mean in the executor.
+	nx := make([]float64, len(points))
+	ny := make([]float64, len(points))
+	xmin, xmax := points[0].X, points[len(points)-1].X
+	span := xmax - xmin
+	if span <= 0 {
+		span = 1
+	}
+	for i, p := range points {
+		nx[i] = (p.X - xmin) / span * 4
+		ny[i] = p.Y
+	}
+	segstat.ZNormalize(ny)
+	variance := 0.0
+	for _, y := range ny {
+		variance += y * y
+	}
+	variance /= float64(len(ny))
+	if variance == 0 {
+		variance = 1
+	}
+
+	// Start with one leg per adjacent pair; greedily merge.
+	type seg struct{ lo, hi int }
+	segs := make([]seg, 0, len(points)-1)
+	for i := 0; i+1 < len(points); i++ {
+		segs = append(segs, seg{i, i + 1})
+	}
+	sse := func(lo, hi int) float64 {
+		st := segstat.FromPoints(nx[lo:hi+1], ny[lo:hi+1])
+		slope, intercept, ok := st.Line()
+		if !ok {
+			return 0
+		}
+		var total float64
+		for i := lo; i <= hi; i++ {
+			d := ny[i] - (slope*nx[i] + intercept)
+			total += d * d
+		}
+		return total
+	}
+	for len(segs) > 1 {
+		bestIdx, bestCost := -1, math.Inf(1)
+		for i := 0; i+1 < len(segs); i++ {
+			cost := sse(segs[i].lo, segs[i+1].hi) - sse(segs[i].lo, segs[i].hi) - sse(segs[i+1].lo, segs[i+1].hi)
+			if cost < bestCost {
+				bestCost, bestIdx = cost, i
+			}
+		}
+		// Stop when few enough segments remain and the next merge would
+		// distort the drawing beyond tolerance.
+		if len(segs) <= cfg.MaxSegments && bestCost > cfg.Tolerance*variance*float64(len(points)) {
+			break
+		}
+		segs[bestIdx].hi = segs[bestIdx+1].hi
+		segs = append(segs[:bestIdx+1], segs[bestIdx+2:]...)
+	}
+
+	legs := make([]Leg, 0, len(segs))
+	for _, s := range segs {
+		st := segstat.FromPoints(nx[s.lo:s.hi+1], ny[s.lo:s.hi+1])
+		slope, ok := st.Slope()
+		if !ok {
+			slope = 0
+		}
+		legs = append(legs, Leg{
+			StartIdx: s.lo,
+			EndIdx:   s.hi,
+			AngleDeg: math.Atan(slope) * 180 / math.Pi,
+		})
+	}
+	return legs, nil
+}
+
+// BlurryQuery infers a pattern-sequence ShapeQuery from a sketch: the legs
+// become CONCAT-ed up/down/flat (or θ=angle) segments, giving the sketch the
+// same blurry-matching semantics as a typed query.
+func BlurryQuery(points []shape.Point, cfg Config) (shape.Query, error) {
+	legs, err := Infer(points, cfg)
+	if err != nil {
+		return shape.Query{}, err
+	}
+	if cfg.FlatAngle <= 0 {
+		cfg.FlatAngle = 10
+	}
+	nodes := make([]*shape.Node, 0, len(legs))
+	for _, leg := range legs {
+		var pat shape.Pattern
+		switch {
+		case cfg.KeepSlopes:
+			angle := leg.AngleDeg
+			if angle > 89 {
+				angle = 89
+			}
+			if angle < -89 {
+				angle = -89
+			}
+			pat = shape.Pattern{Kind: shape.PatSlope, Slope: angle}
+		case math.Abs(leg.AngleDeg) < cfg.FlatAngle:
+			pat = shape.Pattern{Kind: shape.PatFlat}
+		case leg.AngleDeg > 0:
+			pat = shape.Pattern{Kind: shape.PatUp}
+		default:
+			pat = shape.Pattern{Kind: shape.PatDown}
+		}
+		nodes = append(nodes, shape.Seg(shape.Segment{Pat: pat}))
+	}
+	q := shape.Query{Root: shape.Concat(nodes...)}
+	if err := q.Validate(); err != nil {
+		return shape.Query{}, err
+	}
+	return q, nil
+}

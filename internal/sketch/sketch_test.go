@@ -1,0 +1,188 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"shapesearch/internal/shape"
+)
+
+func TestToDomain(t *testing.T) {
+	c := Canvas{Width: 100, Height: 100, XMin: 0, XMax: 10, YMin: 0, YMax: 50}
+	pts, err := c.ToDomain([]Pixel{{0, 100}, {50, 50}, {100, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []shape.Point{{X: 0, Y: 0}, {X: 5, Y: 25}, {X: 10, Y: 50}}
+	for i := range want {
+		if math.Abs(pts[i].X-want[i].X) > 1e-9 || math.Abs(pts[i].Y-want[i].Y) > 1e-9 {
+			t.Fatalf("pts = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestToDomainSortsAndDedups(t *testing.T) {
+	c := Canvas{Width: 10, Height: 10, XMin: 0, XMax: 10, YMin: 0, YMax: 10}
+	// A stroke that wiggles backwards and repeats an x position.
+	pts, err := c.ToDomain([]Pixel{{5, 5}, {3, 2}, {5, 7}, {8, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatalf("not strictly sorted: %v", pts)
+		}
+	}
+	if len(pts) != 3 {
+		t.Fatalf("duplicate x should merge: %v", pts)
+	}
+	// Averaged y at x=5: pixels 5 and 7 → domain (10-5)=5 and (10-7)=3 → 4.
+	if math.Abs(pts[1].Y-4) > 1e-9 {
+		t.Fatalf("averaged y = %v, want 4", pts[1].Y)
+	}
+}
+
+func TestToDomainErrors(t *testing.T) {
+	if _, err := (Canvas{}).ToDomain([]Pixel{{1, 1}}); err == nil {
+		t.Error("zero canvas should error")
+	}
+	c := Canvas{Width: 10, Height: 10, XMin: 0, XMax: 10, YMin: 0, YMax: 10}
+	if _, err := c.ToDomain(nil); err == nil {
+		t.Error("empty stroke should error")
+	}
+	bad := Canvas{Width: 10, Height: 10, XMin: 5, XMax: 5, YMin: 0, YMax: 10}
+	if _, err := bad.ToDomain([]Pixel{{1, 1}}); err == nil {
+		t.Error("empty domain window should error")
+	}
+}
+
+func TestExactQuery(t *testing.T) {
+	q, err := ExactQuery([]shape.Point{{X: 0, Y: 1}, {X: 1, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := q.Root.Segments()
+	if len(segs) != 1 || len(segs[0].Sketch) != 2 {
+		t.Fatalf("query = %s", q)
+	}
+	if _, err := ExactQuery([]shape.Point{{X: 0, Y: 1}}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+// vShape draws a clean V.
+func vShape(n int) []shape.Point {
+	pts := make([]shape.Point, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, shape.Point{X: float64(i), Y: float64(n - i)})
+	}
+	for i := 0; i <= n; i++ {
+		pts = append(pts, shape.Point{X: float64(n + i), Y: float64(i)})
+	}
+	return pts
+}
+
+func TestInferV(t *testing.T) {
+	legs, err := Infer(vShape(20), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legs) != 2 {
+		t.Fatalf("legs = %+v, want 2", legs)
+	}
+	if legs[0].AngleDeg >= 0 || legs[1].AngleDeg <= 0 {
+		t.Fatalf("angles = %v, %v; want down then up", legs[0].AngleDeg, legs[1].AngleDeg)
+	}
+	// Legs partition the points and share the corner.
+	if legs[0].StartIdx != 0 || legs[1].EndIdx != len(vShape(20))-1 {
+		t.Fatalf("legs don't span the sketch: %+v", legs)
+	}
+	if legs[0].EndIdx < 18 || legs[0].EndIdx > 22 {
+		t.Fatalf("corner at %d, want ~20", legs[0].EndIdx)
+	}
+}
+
+func TestBlurryQueryV(t *testing.T) {
+	q, err := BlurryQuery(vShape(20), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "[p=down][p=up]" {
+		t.Fatalf("query = %q", got)
+	}
+}
+
+func TestBlurryQueryWithFlat(t *testing.T) {
+	// Rise, plateau, fall.
+	var pts []shape.Point
+	for i := 0; i <= 10; i++ {
+		pts = append(pts, shape.Point{X: float64(i), Y: float64(i)})
+	}
+	for i := 1; i <= 10; i++ {
+		pts = append(pts, shape.Point{X: float64(10 + i), Y: 10})
+	}
+	for i := 1; i <= 10; i++ {
+		pts = append(pts, shape.Point{X: float64(20 + i), Y: 10 - float64(i)})
+	}
+	q, err := BlurryQuery(pts, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "[p=up][p=flat][p=down]" {
+		t.Fatalf("query = %q", got)
+	}
+}
+
+func TestBlurryQueryKeepSlopes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KeepSlopes = true
+	q, err := BlurryQuery(vShape(10), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := q.Root.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	for _, s := range segs {
+		if s.Pat.Kind != shape.PatSlope {
+			t.Fatalf("kind = %v, want slope", s.Pat.Kind)
+		}
+	}
+	if segs[0].Pat.Slope >= 0 || segs[1].Pat.Slope <= 0 {
+		t.Fatalf("slopes = %v, %v", segs[0].Pat.Slope, segs[1].Pat.Slope)
+	}
+}
+
+func TestInferRespectsMaxSegments(t *testing.T) {
+	// A zigzag with 4 direction changes but MaxSegments 2.
+	var pts []shape.Point
+	x := 0.0
+	y := 0.0
+	for leg := 0; leg < 5; leg++ {
+		dir := 1.0
+		if leg%2 == 1 {
+			dir = -1
+		}
+		for i := 0; i < 8; i++ {
+			pts = append(pts, shape.Point{X: x, Y: y})
+			x++
+			y += dir
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.MaxSegments = 2
+	legs, err := Infer(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legs) > 2 {
+		t.Fatalf("legs = %d, want <= 2", len(legs))
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer([]shape.Point{{X: 1, Y: 1}}, DefaultConfig()); err == nil {
+		t.Error("single point should error")
+	}
+}

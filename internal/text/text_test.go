@@ -1,0 +1,170 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("show me genes rising from 2 to 5.5, then falling!")
+	var words []string
+	for _, tok := range toks {
+		words = append(words, tok.Text)
+	}
+	want := []string{"show", "me", "genes", "rising", "from", "2", "to", "5.5", ",", "then", "falling", "!"}
+	if len(words) != len(want) {
+		t.Fatalf("tokens = %v, want %v", words, want)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, words[i], want[i])
+		}
+	}
+	if !toks[5].IsNumber || toks[5].Num != 2 {
+		t.Fatalf("token 5 = %+v, want number 2", toks[5])
+	}
+	if !toks[7].IsNumber || toks[7].Num != 5.5 {
+		t.Fatalf("token 7 = %+v, want number 5.5", toks[7])
+	}
+	if !toks[8].IsPunct {
+		t.Fatal("comma should be punctuation")
+	}
+}
+
+func TestTokenizeHyphen(t *testing.T) {
+	toks := Tokenize("up-regulated genes")
+	if toks[0].Text != "up-regulated" {
+		t.Fatalf("hyphenated word split: %v", toks[0].Text)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if toks := Tokenize("   "); len(toks) != 0 {
+		t.Fatalf("whitespace should tokenize to nothing, got %v", toks)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"rising", "rising", 0},
+		{"increase", "increasing", 3},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Edit distance is a metric: symmetric and obeys the triangle inequality.
+func TestEditDistanceMetric(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 12 || len(b) > 12 || len(c) > 12 {
+			return true
+		}
+		ab := EditDistance(a, b)
+		ba := EditDistance(b, a)
+		ac := EditDistance(a, c)
+		cb := EditDistance(c, b)
+		return ab == ba && ab <= ac+cb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedEditDistance(t *testing.T) {
+	if d := NormalizedEditDistance("rising", "rising"); d != 0 {
+		t.Fatalf("identical words = %v", d)
+	}
+	if d := NormalizedEditDistance("", ""); d != 0 {
+		t.Fatalf("empty = %v", d)
+	}
+	if d := NormalizedEditDistance("abcd", "wxyz"); d != 1 {
+		t.Fatalf("disjoint = %v, want 1", d)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"peaks":   "peak",
+		"dropped": "dropp",
+		"sharply": "sharp",
+		"up":      "up",
+		"es":      "es",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMatchValueEditDistance(t *testing.T) {
+	cases := []struct {
+		word string
+		want EntityValue
+	}{
+		{"rising", ValUp},
+		{"risin", ValUp}, // typo within edit distance
+		{"decreasing", ValDown},
+		{"stable", ValFlat},
+		{"spikes", ValPeak},
+		{"trough", ValValley},
+		{"sharply", ValSharp},
+		{"slowly", ValGradual},
+	}
+	candidates := []EntityValue{ValUp, ValDown, ValFlat, ValPeak, ValValley, ValSharp, ValGradual}
+	for _, c := range cases {
+		got, ok := MatchValue(c.word, candidates)
+		if !ok || got != c.want {
+			t.Errorf("MatchValue(%q) = %v, %v; want %v", c.word, got, ok, c.want)
+		}
+	}
+}
+
+func TestMatchValueSemanticFallback(t *testing.T) {
+	// "summit" is not within edit distance 0.1 of "up" synonyms but shares
+	// the peak synset which cross-links to up.
+	got, ok := MatchValue("summit", []EntityValue{ValUp, ValDown})
+	if !ok || got != ValUp {
+		t.Fatalf("MatchValue(summit) = %v, %v; want up via synset", got, ok)
+	}
+	if _, ok := MatchValue("xylophone", []EntityValue{ValUp, ValDown}); ok {
+		t.Fatal("unrelated word should not match")
+	}
+}
+
+func TestSemanticSimilarity(t *testing.T) {
+	if s := SemanticSimilarity("peak", "rising"); s <= 0 {
+		t.Fatalf("peak~rising = %v, want positive (cross-linked)", s)
+	}
+	if s := SemanticSimilarity("peak", "falling"); s != 0 {
+		t.Fatalf("peak~falling = %v, want 0", s)
+	}
+	if s := SemanticSimilarity("qqq", "www"); s != 0 {
+		t.Fatalf("unknown words = %v", s)
+	}
+}
+
+func TestMonthAndSmallNumbers(t *testing.T) {
+	if n, ok := MonthNumber("november"); !ok || n != 11 {
+		t.Fatalf("november = %v, %v", n, ok)
+	}
+	if _, ok := MonthNumber("smarch"); ok {
+		t.Fatal("smarch is not a month")
+	}
+	if n, ok := SmallNumber("twice"); !ok || n != 2 {
+		t.Fatalf("twice = %v, %v", n, ok)
+	}
+	if n, ok := SmallNumber("seven"); !ok || n != 7 {
+		t.Fatalf("seven = %v, %v", n, ok)
+	}
+}

@@ -1,0 +1,97 @@
+// Package topk provides a bounded min-heap that retains the k highest
+// scoring items seen, the reduction at the end of the SCORE operator.
+package topk
+
+import "sort"
+
+// Item is one scored candidate.
+type Item[T any] struct {
+	Score float64
+	Value T
+}
+
+// Heap keeps the k items with the highest scores. The zero value is not
+// usable; construct with New.
+type Heap[T any] struct {
+	k     int
+	items []Item[T]
+}
+
+// New returns a heap retaining the top k items. k must be positive.
+func New[T any](k int) *Heap[T] {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Heap[T]{k: k}
+}
+
+// Len reports how many items are currently retained.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Full reports whether k items are retained (so Floor is meaningful as a
+// pruning bound).
+func (h *Heap[T]) Full() bool { return len(h.items) >= h.k }
+
+// Floor returns the smallest retained score: the k-th best so far. It
+// returns ok=false until the heap is full; callers using Floor as a lower
+// bound must not prune before then.
+func (h *Heap[T]) Floor() (float64, bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.items[0].Score, true
+}
+
+// Add offers an item; it is retained only if it beats the current floor
+// (or the heap is not yet full). Reports whether the item was retained.
+func (h *Heap[T]) Add(score float64, value T) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Item[T]{score, value})
+		h.up(len(h.items) - 1)
+		return true
+	}
+	if score <= h.items[0].Score {
+		return false
+	}
+	h.items[0] = Item[T]{score, value}
+	h.down(0)
+	return true
+}
+
+// Sorted returns the retained items in descending score order.
+func (h *Heap[T]) Sorted() []Item[T] {
+	out := make([]Item[T], len(h.items))
+	copy(out, h.items)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Score <= h.items[i].Score {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].Score < h.items[small].Score {
+			small = l
+		}
+		if r < n && h.items[r].Score < h.items[small].Score {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}

@@ -1,0 +1,76 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTopKBasic(t *testing.T) {
+	h := New[string](3)
+	if h.Full() {
+		t.Fatal("empty heap should not be full")
+	}
+	if _, ok := h.Floor(); ok {
+		t.Fatal("floor of non-full heap should be unavailable")
+	}
+	h.Add(0.5, "a")
+	h.Add(0.9, "b")
+	h.Add(0.1, "c")
+	if !h.Full() {
+		t.Fatal("heap should be full after k adds")
+	}
+	if f, ok := h.Floor(); !ok || f != 0.1 {
+		t.Fatalf("floor = %v, %v", f, ok)
+	}
+	// Too-small score is rejected.
+	if h.Add(0.05, "d") {
+		t.Fatal("score below floor should be rejected")
+	}
+	// Better score evicts the floor.
+	if !h.Add(0.7, "e") {
+		t.Fatal("score above floor should be retained")
+	}
+	got := h.Sorted()
+	if len(got) != 3 || got[0].Value != "b" || got[1].Value != "e" || got[2].Value != "a" {
+		t.Fatalf("sorted = %+v", got)
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		scores := make([]float64, n)
+		h := New[int](k)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			h.Add(scores[i], i)
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		want := k
+		if n < k {
+			want = n
+		}
+		got := h.Sorted()
+		if len(got) != want {
+			t.Fatalf("len = %d, want %d", len(got), want)
+		}
+		for i := range got {
+			if got[i].Score != sorted[i] {
+				t.Fatalf("top-%d mismatch at %d: %v != %v", k, i, got[i].Score, sorted[i])
+			}
+		}
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 should panic")
+		}
+	}()
+	New[int](0)
+}

@@ -1,0 +1,238 @@
+// Package udps provides a library of ready-made user-defined patterns —
+// the mathematical shapes the paper's study participants asked for beyond
+// the core algebra ("concave, convex, exponential, or statistical measures
+// such as entropy", Section 7.2). Install them into a registry and use
+// them like any pattern: [p=concave], [p=volatile] & [p=up], and so on.
+//
+// Every scorer receives a visual segment's raw x and y values and returns
+// a score in [−1, 1], matching the UDP contract of Section 5.2.
+package udps
+
+import (
+	"math"
+
+	"shapesearch/internal/score"
+	"shapesearch/internal/segstat"
+)
+
+// Register installs every built-in pattern into the registry. Names:
+// concave, convex, exponential, logarithmic, vshape, entropy, volatile,
+// smooth.
+func Register(r *score.Registry) error {
+	for name, fn := range builtins() {
+		if err := r.Register(name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Names lists the built-in pattern names.
+func Names() []string {
+	return []string{"concave", "convex", "exponential", "logarithmic",
+		"vshape", "entropy", "volatile", "smooth"}
+}
+
+func builtins() map[string]score.UDPFunc {
+	return map[string]score.UDPFunc{
+		"concave":     Concave,
+		"convex":      Convex,
+		"exponential": Exponential,
+		"logarithmic": Logarithmic,
+		"vshape":      VShape,
+		"entropy":     Entropy,
+		"volatile":    Volatile,
+		"smooth":      Smooth,
+	}
+}
+
+// curvature fits y ≈ a·x² + b·x + c by least squares and returns the
+// normalized quadratic coefficient: the sign carries convexity, the
+// magnitude how pronounced it is relative to the segment's scale.
+func curvature(xs, ys []float64) (float64, bool) {
+	n := len(xs)
+	if n < 3 {
+		return 0, false
+	}
+	// Normalize x to [0, 1] and z-score y for scale invariance.
+	x0, x1 := xs[0], xs[n-1]
+	span := x1 - x0
+	if span <= 0 {
+		return 0, false
+	}
+	ny := append([]float64(nil), ys...)
+	segstat.ZNormalize(ny)
+	// Solve the 3x3 normal equations for the quadratic fit.
+	var s0, s1, s2, s3, s4, t0, t1, t2 float64
+	for i := 0; i < n; i++ {
+		x := (xs[i] - x0) / span
+		x2 := x * x
+		s0++
+		s1 += x
+		s2 += x2
+		s3 += x2 * x
+		s4 += x2 * x2
+		t0 += ny[i]
+		t1 += x * ny[i]
+		t2 += x2 * ny[i]
+	}
+	// Cramer's rule on [[s4 s3 s2][s3 s2 s1][s2 s1 s0]] · [a b c] = [t2 t1 t0].
+	det := s4*(s2*s0-s1*s1) - s3*(s3*s0-s1*s2) + s2*(s3*s1-s2*s2)
+	if math.Abs(det) < 1e-12 {
+		return 0, false
+	}
+	a := (t2*(s2*s0-s1*s1) - s3*(t1*s0-t0*s1) + s2*(t1*s1-t0*s2)) / det
+	return a, true
+}
+
+// Concave scores shapes curving downward (rises then levels or falls, like
+// a saturating process): +1 for strong concavity, −1 for strong convexity.
+func Concave(xs, ys []float64) float64 {
+	a, ok := curvature(xs, ys)
+	if !ok {
+		return score.WorstScore
+	}
+	// a is in z-units over the unit square; tan⁻¹ maps it perceptually.
+	return score.Clamp(-2 * math.Atan(a) / math.Pi * 2)
+}
+
+// Convex is the opposite of Concave: +1 for bowls, −1 for domes.
+func Convex(xs, ys []float64) float64 {
+	return -Concave(xs, ys)
+}
+
+// Exponential scores accelerating growth: increasing and convex.
+func Exponential(xs, ys []float64) float64 {
+	st := segstat.FromPoints(normalizedXY(xs, ys))
+	slope, ok := st.Slope()
+	if !ok {
+		return score.WorstScore
+	}
+	return score.And(score.Up(slope), Convex(xs, ys))
+}
+
+// Logarithmic scores decelerating growth: increasing and concave.
+func Logarithmic(xs, ys []float64) float64 {
+	st := segstat.FromPoints(normalizedXY(xs, ys))
+	slope, ok := st.Slope()
+	if !ok {
+		return score.WorstScore
+	}
+	return score.And(score.Up(slope), Concave(xs, ys))
+}
+
+// VShape scores a fall followed by a symmetric rise: the minimum near the
+// middle with both halves steep. It is the UDP twin of the nested query
+// [p=down][p=up] with an added symmetry preference.
+func VShape(xs, ys []float64) float64 {
+	n := len(ys)
+	if n < 5 {
+		return score.WorstScore
+	}
+	nx, ny := normalizedXY(xs, ys)
+	minAt := 0
+	for i, y := range ny {
+		if y < ny[minAt] {
+			minAt = i
+		}
+	}
+	if minAt < n/5 || minAt > 4*n/5 {
+		return score.WorstScore
+	}
+	left := segstat.FromPoints(nx[:minAt+1], ny[:minAt+1])
+	right := segstat.FromPoints(nx[minAt:], ny[minAt:])
+	ls, ok1 := left.Slope()
+	rs, ok2 := right.Slope()
+	if !ok1 || !ok2 {
+		return score.WorstScore
+	}
+	fall := score.Down(ls)
+	rise := score.Up(rs)
+	symmetry := 1 - math.Abs(math.Atan(-ls)-math.Atan(rs))*2/math.Pi
+	return score.And(fall, rise, score.Clamp(symmetry))
+}
+
+// Entropy scores how uniformly the segment's value changes spread across
+// magnitude buckets — a rough busyness measure. High entropy (erratic
+// movement) scores +1; a clean single-direction trend scores low.
+func Entropy(xs, ys []float64) float64 {
+	n := len(ys)
+	if n < 3 {
+		return score.WorstScore
+	}
+	ny := append([]float64(nil), ys...)
+	segstat.ZNormalize(ny)
+	const buckets = 8
+	counts := make([]float64, buckets)
+	var maxAbs float64
+	diffs := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		diffs[i-1] = ny[i] - ny[i-1]
+		if a := math.Abs(diffs[i-1]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return score.WorstScore
+	}
+	for _, d := range diffs {
+		b := int((d/maxAbs + 1) / 2 * (buckets - 1))
+		counts[b]++
+	}
+	var h float64
+	total := float64(len(diffs))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log2(p)
+	}
+	hmax := math.Log2(buckets)
+	return score.Clamp(2*h/hmax - 1)
+}
+
+// Volatile scores segments whose point-to-point movement is large relative
+// to their net trend — choppy series score +1, clean trends −1.
+func Volatile(xs, ys []float64) float64 {
+	n := len(ys)
+	if n < 3 {
+		return score.WorstScore
+	}
+	var travel float64
+	for i := 1; i < n; i++ {
+		travel += math.Abs(ys[i] - ys[i-1])
+	}
+	net := math.Abs(ys[n-1] - ys[0])
+	if travel == 0 {
+		return score.WorstScore
+	}
+	// travel == net for a monotone series; travel ≫ net for choppy ones.
+	ratio := travel / (net + travel/float64(n))
+	return score.Clamp(2*math.Atan(ratio-1)/math.Pi*2 - 1 + 0.5*math.Min(ratio-1, 1))
+}
+
+// Smooth is the opposite of Volatile.
+func Smooth(xs, ys []float64) float64 {
+	return -Volatile(xs, ys)
+}
+
+// normalizedXY maps x onto [0, 4] and z-scores y, the executor's chart
+// normalization, so slopes read like on-screen angles.
+func normalizedXY(xs, ys []float64) ([]float64, []float64) {
+	n := len(xs)
+	nx := make([]float64, n)
+	ny := append([]float64(nil), ys...)
+	if n == 0 {
+		return nx, ny
+	}
+	span := xs[n-1] - xs[0]
+	if span <= 0 {
+		span = 1
+	}
+	for i := range xs {
+		nx[i] = (xs[i] - xs[0]) / span * 4
+	}
+	segstat.ZNormalize(ny)
+	return nx, ny
+}

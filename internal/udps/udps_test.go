@@ -1,0 +1,132 @@
+package udps
+
+import (
+	"math"
+	"testing"
+
+	"shapesearch/internal/score"
+)
+
+func curve(n int, f func(t float64) float64) ([]float64, []float64) {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		xs[i] = float64(i)
+		ys[i] = f(t)
+	}
+	return xs, ys
+}
+
+func TestRegisterAndNames(t *testing.T) {
+	r := score.NewRegistry()
+	if err := Register(r); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if _, ok := r.Lookup(name); !ok {
+			t.Errorf("pattern %q not registered", name)
+		}
+	}
+}
+
+func TestConcaveConvex(t *testing.T) {
+	xs, dome := curve(60, func(t float64) float64 { return -4 * (t - 0.5) * (t - 0.5) })
+	_, bowl := curve(60, func(t float64) float64 { return 4 * (t - 0.5) * (t - 0.5) })
+	_, line := curve(60, func(t float64) float64 { return t })
+
+	if s := Concave(xs, dome); s < 0.3 {
+		t.Errorf("dome concavity = %v, want strongly positive", s)
+	}
+	if s := Concave(xs, bowl); s > -0.3 {
+		t.Errorf("bowl concavity = %v, want strongly negative", s)
+	}
+	if s := Convex(xs, bowl); s < 0.3 {
+		t.Errorf("bowl convexity = %v, want strongly positive", s)
+	}
+	if s := math.Abs(Concave(xs, line)); s > 0.2 {
+		t.Errorf("line concavity = %v, want near zero", s)
+	}
+	if s := Concave(xs[:2], dome[:2]); s != score.WorstScore {
+		t.Errorf("two points should be worst score, got %v", s)
+	}
+}
+
+func TestExponentialLogarithmic(t *testing.T) {
+	xs, expo := curve(60, func(t float64) float64 { return math.Exp(3 * t) })
+	_, loga := curve(60, func(t float64) float64 { return math.Log(1 + 20*t) })
+	_, falling := curve(60, func(t float64) float64 { return -t })
+
+	if s := Exponential(xs, expo); s < 0.3 {
+		t.Errorf("exp(x) scored %v on exponential, want strong", s)
+	}
+	if s := Exponential(xs, loga); s > 0 {
+		t.Errorf("log(x) scored %v on exponential, want non-positive", s)
+	}
+	if s := Logarithmic(xs, loga); s < 0.3 {
+		t.Errorf("log(x) scored %v on logarithmic, want strong", s)
+	}
+	if s := Exponential(xs, falling); s > 0 {
+		t.Errorf("falling series scored %v on exponential", s)
+	}
+}
+
+func TestVShape(t *testing.T) {
+	xs, v := curve(60, func(t float64) float64 { return math.Abs(t-0.5) * 2 })
+	_, rise := curve(60, func(t float64) float64 { return t })
+	_, skew := curve(60, func(t float64) float64 { return math.Abs(t-0.05) * 2 })
+
+	if s := VShape(xs, v); s < 0.3 {
+		t.Errorf("V scored %v, want strong", s)
+	}
+	if s := VShape(xs, rise); s > 0 {
+		t.Errorf("monotone rise scored %v on vshape", s)
+	}
+	if s := VShape(xs, skew); s != score.WorstScore {
+		t.Errorf("minimum at the edge should fail, got %v", s)
+	}
+}
+
+func TestEntropyAndVolatility(t *testing.T) {
+	xs, clean := curve(80, func(t float64) float64 { return t })
+	_, choppy := curve(80, func(t float64) float64 {
+		return math.Sin(t*40) + math.Sin(t*23+1)*0.7
+	})
+	if Entropy(xs, choppy) <= Entropy(xs, clean) {
+		t.Error("choppy series should have higher entropy than a clean trend")
+	}
+	if Volatile(xs, choppy) <= Volatile(xs, clean) {
+		t.Error("choppy series should be more volatile")
+	}
+	if Smooth(xs, clean) <= Smooth(xs, choppy) {
+		t.Error("clean trend should be smoother")
+	}
+	if s := Volatile(xs[:2], clean[:2]); s != score.WorstScore {
+		t.Errorf("degenerate volatility = %v", s)
+	}
+}
+
+// TestAllBounded: every built-in stays within the UDP contract [−1, 1] on
+// assorted inputs.
+func TestAllBounded(t *testing.T) {
+	inputs := [][]float64{}
+	for _, f := range []func(float64) float64{
+		func(t float64) float64 { return t },
+		func(t float64) float64 { return -t * t },
+		func(t float64) float64 { return math.Sin(t * 30) },
+		func(t float64) float64 { return 0 },
+		func(t float64) float64 { return math.Exp(5 * t) },
+	} {
+		_, ys := curve(50, f)
+		inputs = append(inputs, ys)
+	}
+	xs, _ := curve(50, func(t float64) float64 { return t })
+	for name, fn := range builtins() {
+		for i, ys := range inputs {
+			s := fn(xs, ys)
+			if math.IsNaN(s) || s < -1 || s > 1 {
+				t.Errorf("%s on input %d returned %v, outside [-1, 1]", name, i, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package shapesearch is a from-scratch Go implementation of ShapeSearch
+// (Siddiqui et al., SIGMOD 2020): a flexible and efficient system for
+// shape-based exploration of trendlines.
+//
+// It provides the ShapeQuery algebra, three query specification mechanisms
+// (visual regular expressions, natural language, and sketches), and a
+// pattern-matching engine with the paper's segmentation algorithms
+// (optimal dynamic programming, the linear-time SegmentTree, greedy and
+// DTW/Euclidean baselines), push-down optimizations and two-stage
+// collective pruning.
+//
+// Quickstart:
+//
+//	tbl, _ := shapesearch.OpenCSV("stocks.csv")
+//	q, _ := shapesearch.ParseRegex("u ; d ; u") // rise, fall, rise
+//	results, _ := shapesearch.Search(tbl,
+//	    shapesearch.ExtractSpec{Z: "symbol", X: "day", Y: "price"},
+//	    q, shapesearch.DefaultOptions())
+//	for _, r := range results {
+//	    fmt.Println(r.Z, r.Score)
+//	}
+package shapesearch
+
+import (
+	"io"
+
+	"shapesearch/internal/crf"
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/executor"
+	"shapesearch/internal/nlparser"
+	"shapesearch/internal/regexlang"
+	"shapesearch/internal/score"
+	"shapesearch/internal/shape"
+	"shapesearch/internal/sketch"
+	"shapesearch/internal/udps"
+)
+
+// Core algebra types.
+type (
+	// Query is a parsed ShapeQuery.
+	Query = shape.Query
+	// Node is one node of the query tree.
+	Node = shape.Node
+	// Segment is a ShapeSegment (the MATCH operand).
+	Segment = shape.Segment
+	// Pattern is the PATTERN primitive.
+	Pattern = shape.Pattern
+	// Modifier is the MODIFIER primitive.
+	Modifier = shape.Modifier
+	// Location is the LOCATION primitive.
+	Location = shape.Location
+	// Point is one (x, y) sketch sample.
+	Point = shape.Point
+)
+
+// Data substrate types.
+type (
+	// Table is an in-memory columnar dataset.
+	Table = dataset.Table
+	// Column is one typed column of a Table.
+	Column = dataset.Column
+	// Series is one candidate trendline.
+	Series = dataset.Series
+	// ExtractSpec selects the visualization space: z, x, y, filters and
+	// aggregation.
+	ExtractSpec = dataset.ExtractSpec
+	// Filter is one predicate on a column.
+	Filter = dataset.Filter
+	// Agg is the aggregation applied to duplicate (z, x) coordinates.
+	Agg = dataset.Agg
+	// FilterOp is a comparison operator in a filter.
+	FilterOp = dataset.FilterOp
+)
+
+// Execution types.
+type (
+	// Options configures a search.
+	Options = executor.Options
+	// Result is one matched visualization.
+	Result = executor.Result
+	// Algorithm selects the segmentation strategy.
+	Algorithm = executor.Algorithm
+	// UDPRegistry holds user-defined patterns.
+	UDPRegistry = score.Registry
+	// UDPFunc scores a user-defined pattern over a visual segment.
+	UDPFunc = score.UDPFunc
+)
+
+// NL and sketch front-end types.
+type (
+	// NLParser translates natural language into ShapeQueries.
+	NLParser = nlparser.Parser
+	// NLParseInfo is the correction-panel payload: entity tags and applied
+	// ambiguity resolutions.
+	NLParseInfo = nlparser.ParseInfo
+	// Canvas maps stroke pixels onto a domain window.
+	Canvas = sketch.Canvas
+	// Pixel is one stroke sample in canvas coordinates.
+	Pixel = sketch.Pixel
+	// SketchConfig controls blurry sketch inference.
+	SketchConfig = sketch.Config
+	// CRFModel is a trained entity-tagging model.
+	CRFModel = crf.Model
+)
+
+// Algorithms.
+const (
+	// AlgAuto picks SegmentTree for fuzzy queries (default).
+	AlgAuto = executor.AlgAuto
+	// AlgDP is the optimal O(n²k) dynamic program.
+	AlgDP = executor.AlgDP
+	// AlgSegmentTree is the O(nk⁴) pattern-aware segmenter.
+	AlgSegmentTree = executor.AlgSegmentTree
+	// AlgGreedy is the local-search baseline.
+	AlgGreedy = executor.AlgGreedy
+	// AlgExhaustive enumerates all segmentations (small inputs).
+	AlgExhaustive = executor.AlgExhaustive
+	// AlgDTW ranks by Dynamic Time Warping distance.
+	AlgDTW = executor.AlgDTW
+	// AlgEuclidean ranks by Euclidean distance.
+	AlgEuclidean = executor.AlgEuclidean
+)
+
+// Column types.
+const (
+	// Float marks numeric columns.
+	Float = dataset.Float
+	// String marks categorical columns.
+	String = dataset.String
+)
+
+// Filter operators.
+const (
+	// Eq tests equality.
+	Eq = dataset.Eq
+	// Ne tests inequality.
+	Ne = dataset.Ne
+	// Lt tests less-than.
+	Lt = dataset.Lt
+	// Le tests less-or-equal.
+	Le = dataset.Le
+	// Gt tests greater-than.
+	Gt = dataset.Gt
+	// Ge tests greater-or-equal.
+	Ge = dataset.Ge
+)
+
+// Aggregations for duplicate (z, x) coordinates.
+const (
+	// AggNone keeps single points only.
+	AggNone = dataset.AggNone
+	// AggAvg averages duplicates (the default for multi-sample data).
+	AggAvg = dataset.AggAvg
+	// AggSum sums duplicates.
+	AggSum = dataset.AggSum
+	// AggMin keeps the minimum.
+	AggMin = dataset.AggMin
+	// AggMax keeps the maximum.
+	AggMax = dataset.AggMax
+	// AggCount counts duplicates.
+	AggCount = dataset.AggCount
+)
+
+// DefaultOptions returns the system's default search options.
+func DefaultOptions() Options { return executor.DefaultOptions() }
+
+// NewUDPRegistry returns an empty user-defined pattern registry.
+func NewUDPRegistry() *UDPRegistry { return score.NewRegistry() }
+
+// BuiltinUDPs returns a registry pre-loaded with the mathematical pattern
+// library (concave, convex, exponential, logarithmic, vshape, entropy,
+// volatile, smooth) — the extension the paper's study participants asked
+// for (Section 7.2). Use them like any pattern: [p=concave] & [p=up].
+func BuiltinUDPs() *UDPRegistry {
+	r := score.NewRegistry()
+	if err := udps.Register(r); err != nil {
+		panic(err) // impossible: built-in names are valid
+	}
+	return r
+}
+
+// OpenCSV loads a CSV dataset from disk with type inference.
+func OpenCSV(path string) (*Table, error) { return dataset.OpenCSV(path) }
+
+// ReadCSV loads a CSV dataset from a reader.
+func ReadCSV(r io.Reader) (*Table, error) { return dataset.FromCSV(r) }
+
+// ReadJSON loads a dataset from a JSON array of flat objects.
+func ReadJSON(r io.Reader) (*Table, error) { return dataset.FromJSON(r) }
+
+// NewTable builds a dataset from columns.
+func NewTable(cols ...Column) (*Table, error) { return dataset.New(cols...) }
+
+// Extract selects candidate trendlines from a table.
+func Extract(t *Table, spec ExtractSpec) ([]Series, error) { return dataset.Extract(t, spec) }
+
+// ParseRegex parses a visual regular expression into a ShapeQuery, e.g.
+// "[x.s=2, x.e=5, p=up] ; d ; u" or "(u ⊕ d) ⊗ f".
+func ParseRegex(s string) (Query, error) { return regexlang.Parse(s) }
+
+// MustParseRegex is ParseRegex for statically known-good queries.
+func MustParseRegex(s string) Query { return regexlang.MustParse(s) }
+
+// NewNLParser returns a natural-language parser using the deterministic
+// rule tagger (no training needed).
+func NewNLParser() *NLParser { return nlparser.NewParser() }
+
+// NewNLParserWithModel returns a natural-language parser backed by a
+// trained CRF tagger (see TrainNLTagger).
+func NewNLParserWithModel(m *CRFModel) *NLParser { return nlparser.NewParserWithModel(m) }
+
+// ParseNL parses a natural-language query with the default parser.
+func ParseNL(s string) (Query, *NLParseInfo, error) { return nlparser.NewParser().Parse(s) }
+
+// TrainNLTagger trains a CRF entity tagger on a synthetic corpus of n
+// labeled queries (the stand-in for the paper's Mechanical Turk corpus).
+func TrainNLTagger(n int, seed int64) (*CRFModel, error) {
+	corpus := nlparser.GenerateCorpus(n, seed)
+	return crf.Train(nlparser.ToSequences(corpus), crf.DefaultTrainConfig())
+}
+
+// SketchExact builds a precise-match query from domain-coordinate sketch
+// points (scored by normalized L2 distance).
+func SketchExact(points []Point) (Query, error) { return sketch.ExactQuery(points) }
+
+// SketchBlurry infers a blurry pattern-sequence query from sketch points
+// via piecewise-linear segmentation.
+func SketchBlurry(points []Point, cfg SketchConfig) (Query, error) {
+	return sketch.BlurryQuery(points, cfg)
+}
+
+// DefaultSketchConfig returns the default blurry-inference settings.
+func DefaultSketchConfig() SketchConfig { return sketch.DefaultConfig() }
+
+// Search extracts candidate visualizations and ranks them against the
+// query — the full EXTRACT → GROUP → SEGMENT → SCORE pipeline.
+func Search(t *Table, spec ExtractSpec, q Query, opts Options) ([]Result, error) {
+	return executor.Search(t, spec, q, opts)
+}
+
+// SearchSeries ranks pre-extracted trendlines against the query.
+func SearchSeries(series []Series, q Query, opts Options) ([]Result, error) {
+	return executor.SearchSeries(series, q, opts)
+}

@@ -1,0 +1,157 @@
+package shapesearch_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"shapesearch"
+)
+
+func demoTable(t *testing.T) *shapesearch.Table {
+	t.Helper()
+	var zs []string
+	var xs, ys []float64
+	add := func(z string, vals ...float64) {
+		for i, v := range vals {
+			zs = append(zs, z)
+			xs = append(xs, float64(i))
+			ys = append(ys, v)
+		}
+	}
+	add("peak", 0, 2, 4, 6, 8, 6, 4, 2, 0)
+	add("rise", 0, 1, 2, 3, 4, 5, 6, 7, 8)
+	add("fall", 8, 7, 6, 5, 4, 3, 2, 1, 0)
+	tbl, err := shapesearch.NewTable(
+		shapesearch.Column{Name: "z", Type: shapesearch.String, Strings: zs},
+		shapesearch.Column{Name: "x", Type: shapesearch.Float, Floats: xs},
+		shapesearch.Column{Name: "y", Type: shapesearch.Float, Floats: ys},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestPublicAPISearch(t *testing.T) {
+	tbl := demoTable(t)
+	q, err := shapesearch.ParseRegex("u ; d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shapesearch.Search(tbl,
+		shapesearch.ExtractSpec{Z: "z", X: "x", Y: "y"}, q, shapesearch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Z != "peak" {
+		t.Fatalf("top = %s", res[0].Z)
+	}
+}
+
+func TestPublicAPINLAndSketch(t *testing.T) {
+	q, info, err := shapesearch.ParseNL("rising then falling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "[p=up][p=down]" || info == nil {
+		t.Fatalf("NL parse = %s", q)
+	}
+	pts := []shapesearch.Point{{X: 0, Y: 0}, {X: 5, Y: 10}, {X: 10, Y: 0}}
+	q, err = shapesearch.SketchBlurry(pts, shapesearch.DefaultSketchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "[p=up][p=down]" {
+		t.Fatalf("sketch query = %s", q)
+	}
+	if _, err := shapesearch.SketchExact(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPICSVRoundTrip(t *testing.T) {
+	csv := "city,month,temp\na,1,10\na,2,20\nb,1,20\nb,2,10\n"
+	tbl, err := shapesearch.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := shapesearch.Extract(tbl, shapesearch.ExtractSpec{Z: "city", X: "month", Y: "temp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shapesearch.SearchSeries(series, shapesearch.MustParseRegex("u"), shapesearch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Z != "a" {
+		t.Fatalf("top = %s", res[0].Z)
+	}
+}
+
+func TestPublicAPIUDP(t *testing.T) {
+	tbl := demoTable(t)
+	opts := shapesearch.DefaultOptions()
+	opts.UDPs = shapesearch.NewUDPRegistry()
+	err := opts.UDPs.Register("symmetric", func(xs, ys []float64) float64 {
+		n := len(ys)
+		var diff, scale float64
+		for i := 0; i < n/2; i++ {
+			d := ys[i] - ys[n-1-i]
+			diff += d * d
+			scale += ys[i] * ys[i]
+		}
+		if scale == 0 {
+			return 0
+		}
+		return 1 - 2*diff/(diff+scale)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shapesearch.Search(tbl,
+		shapesearch.ExtractSpec{Z: "z", X: "x", Y: "y"},
+		shapesearch.MustParseRegex("[p=symmetric]"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Z != "peak" {
+		t.Fatalf("top = %s (score %v)", res[0].Z, res[0].Score)
+	}
+}
+
+func TestTrainNLTagger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	model, err := shapesearch.TrainNLTagger(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := shapesearch.NewNLParserWithModel(model)
+	q, _, err := p.Parse("rising then falling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "[p=up][p=down]" {
+		t.Fatalf("CRF-backed parse = %s", q)
+	}
+}
+
+// ExampleParseRegex demonstrates the query language.
+func ExampleParseRegex() {
+	q, _ := shapesearch.ParseRegex("[x.s=2, x.e=5, p=up, m=>>] ; d ; u")
+	fmt.Println(q)
+	fmt.Println("fuzzy:", q.IsFuzzy())
+	// Output:
+	// [x.s=2, x.e=5, p=up, m=>>][p=down][p=up]
+	// fuzzy: true
+}
+
+// ExampleParseNL demonstrates natural-language queries.
+func ExampleParseNL() {
+	q, _, _ := shapesearch.ParseNL("genes with at least 2 peaks")
+	fmt.Println(q)
+	// Output:
+	// [p=up, m={2,}]
+}
