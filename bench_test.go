@@ -289,12 +289,89 @@ func BenchmarkAblation_Parallelism(b *testing.B) {
 }
 
 // BenchmarkAblation_Pruning isolates the two-stage collective pruning
-// effect at full collection size (Fig 13c's widening-gap claim).
+// effect at full collection size (Fig 13c's widening-gap claim). With
+// Parallelism 1 this is the old sequential searchPruned path, now served
+// by the unified shared-threshold pipeline.
 func BenchmarkAblation_Pruning(b *testing.B) {
 	series := benchSeries(b, gen.RealEstate(), 1)
 	for _, pruning := range []bool{false, true} {
 		b.Run(fmt.Sprintf("pruning=%v", pruning), func(b *testing.B) {
 			runSearch(b, series, "u ; d ; u ; d", benchOpts(executor.AlgSegmentTree, pruning))
+		})
+	}
+}
+
+// BenchmarkCompile isolates query-plan compilation cost: validation,
+// normalization, solver selection and nested sub-query pre-compilation —
+// the work Compile hoists out of the per-request path.
+func BenchmarkCompile(b *testing.B) {
+	for _, q := range []struct{ name, query string }{
+		{"Fuzzy", "u ; d ; u ; d"},
+		{"Operators", "[x.s=2, x.e=5, p=up, m=>>] ; (d | f) ; [p=up, m={2,5}]"},
+	} {
+		parsed := regexlang.MustParse(q.query)
+		b.Run(q.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := executor.Compile(parsed, executor.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanReuse compares re-compiling per call (the SearchSeries
+// wrapper) against compiling once and reusing the plan — the repeated-query
+// serving pattern.
+func BenchmarkPlanReuse(b *testing.B) {
+	series := benchSeries(b, gen.Weather(), 8)
+	q := regexlang.MustParse("u ; d ; u")
+	opts := benchOpts(executor.AlgSegmentTree, false)
+	b.Run("Recompile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := executor.SearchSeries(series, q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Precompiled", func(b *testing.B) {
+		plan, err := executor.Compile(q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Run(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PrecompiledGrouped", func(b *testing.B) {
+		plan, err := executor.Compile(q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vizs := plan.GroupSeries(series)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.RunGrouped(vizs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPruning_SharedThreshold measures the unified pruned pipeline's
+// worker scaling: all workers share one top-k heap whose floor is the live
+// pruning threshold, so pruning and parallelism compose (they used to be
+// mutually exclusive).
+func BenchmarkPruning_SharedThreshold(b *testing.B) {
+	series := benchSeries(b, gen.RealEstate(), 1)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchOpts(executor.AlgSegmentTree, true)
+			opts.Parallelism = workers
+			runSearch(b, series, "u ; d ; u ; d", opts)
 		})
 	}
 }

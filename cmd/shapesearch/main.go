@@ -33,19 +33,20 @@ func main() {
 		k         = flag.Int("k", 5, "number of results")
 		algName   = flag.String("alg", "auto", "algorithm: auto, dp, segmenttree, greedy, dtw, euclidean")
 		pruning   = flag.Bool("pruning", false, "enable two-stage collective pruning")
+		parallel  = flag.Int("parallel", 0, "scoring workers (0 = one per CPU)")
 		filterStr = flag.String("filter", "", "filters, e.g. \"price>10;region=west\" (separators ; , ops = != < <= > >=)")
 		width     = flag.Int("width", 60, "sparkline width")
 	)
 	flag.Parse()
 	if err := run(*dataPath, *demo, *zAttr, *xAttr, *yAttr, *agg, *regex, *nl,
-		*k, *algName, *pruning, *filterStr, *width); err != nil {
+		*k, *algName, *pruning, *parallel, *filterStr, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "shapesearch:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
-	k int, algName string, pruning bool, filterStr string, width int) error {
+	k int, algName string, pruning bool, parallel int, filterStr string, width int) error {
 	tbl, spec, err := loadData(dataPath, demo, zAttr, xAttr, yAttr)
 	if err != nil {
 		return err
@@ -85,12 +86,17 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 	opts := shapesearch.DefaultOptions()
 	opts.K = k
 	opts.Pruning = pruning
+	opts.Parallelism = parallel
 	opts.Algorithm, err = algByName(algName)
 	if err != nil {
 		return err
 	}
 
-	results, err := shapesearch.Search(tbl, spec, q, opts)
+	plan, err := shapesearch.Compile(q, opts)
+	if err != nil {
+		return err
+	}
+	results, err := plan.Search(tbl, spec)
 	if err != nil {
 		return err
 	}

@@ -38,11 +38,16 @@ func (l *loadFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	noDemo := flag.Bool("nodemo", false, "skip registering the built-in demo datasets")
+	noCache := flag.Bool("nocache", false, "disable the server-side candidate cache")
 	var loads loadFlags
 	flag.Var(&loads, "load", "register a CSV dataset as name=path (repeatable)")
 	flag.Parse()
 
 	srv := server.New()
+	if *noCache {
+		srv.DisableCache()
+		log.Printf("candidate cache disabled")
+	}
 	if !*noDemo {
 		srv.Register("stocks", gen.Stocks(60, 150, 1))
 		srv.Register("genes", gen.Genes(80, 48, 1))

@@ -1,0 +1,3 @@
+module shapesearch
+
+go 1.24

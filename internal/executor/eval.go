@@ -100,10 +100,17 @@ func compileChain(v *Viz, chain shape.Chain, opts *Options) (*chainEval, error) 
 				}
 			}
 			if seg.Pat.Kind == shape.PatNested {
-				norm, err := shape.Normalize(shape.Query{Root: seg.Pat.Sub})
-				if err != nil {
-					compileErr = err
-					return
+				norm, ok := opts.nestedPre[seg.Pat.Sub]
+				if !ok {
+					// Not pre-compiled (direct chainEval construction in
+					// tests, or dynamically built sub-queries): normalize
+					// here, once per chain.
+					var err error
+					norm, err = shape.Normalize(shape.Query{Root: seg.Pat.Sub})
+					if err != nil {
+						compileErr = err
+						return
+					}
 				}
 				if cu.nested == nil {
 					cu.nested = make(map[*shape.Node]shape.Normalized)

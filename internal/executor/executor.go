@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"shapesearch/internal/dataset"
-	"shapesearch/internal/dtw"
 	"shapesearch/internal/score"
 	"shapesearch/internal/shape"
 	"shapesearch/internal/topk"
@@ -82,7 +80,8 @@ type Options struct {
 	// (effective with AlgSegmentTree / AlgAuto on fuzzy queries).
 	Pruning bool
 	// Parallelism is the number of worker goroutines scoring
-	// visualizations (default 1; 0 means GOMAXPROCS).
+	// visualizations (default 0: auto, meaning GOMAXPROCS). The
+	// DTW/Euclidean baselines ignore it and scan sequentially.
 	Parallelism int
 	// QuantifierThreshold overrides the zero score threshold above which a
 	// sub-segment counts as a pattern occurrence.
@@ -98,6 +97,11 @@ type Options struct {
 	// DTWBand is the Sakoe–Chiba band half-width for AlgDTW
 	// (default −1: unconstrained).
 	DTWBand int
+
+	// nestedPre holds nested sub-queries pre-normalized at Compile time,
+	// keyed by sub-query root. Read-only after Compile; chain compilation
+	// consults it before normalizing lazily.
+	nestedPre map[*shape.Node]shape.Normalized
 }
 
 // DefaultOptions returns the system defaults.
@@ -108,7 +112,7 @@ func DefaultOptions() Options {
 		Stride:              1,
 		MinSegmentFrac:      0.05,
 		Pushdown:            true,
-		Parallelism:         1,
+		Parallelism:         0, // auto: GOMAXPROCS workers
 		SketchConfig:        score.DefaultSketchConfig(),
 		MaxExhaustivePoints: 64,
 		DTWBand:             -1,
@@ -161,129 +165,26 @@ type Result struct {
 // LOCATION windows are pushed into EXTRACT so rows outside every referenced
 // x range are never materialized (Section 5.4 (a)/(c); the paper re-adds
 // the ignored ranges only when plotting the top-k).
+//
+// Search is a thin compatibility wrapper over Compile + Plan.Search;
+// callers issuing the same query repeatedly should compile once and reuse
+// the plan.
 func Search(tbl *dataset.Table, spec dataset.ExtractSpec, q shape.Query, opts Options) ([]Result, error) {
-	if opts.Pushdown {
-		if pinned, all := q.XRanges(); all && len(pinned) > 0 {
-			pad := 0.0
-			for _, r := range pinned {
-				if w := (r[1] - r[0]) * 0.05; w > pad {
-					pad = w
-				}
-			}
-			spec.XRanges = padRanges(pinned, pad)
-		}
-	}
-	series, err := dataset.Extract(tbl, spec)
+	p, err := Compile(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	return SearchSeries(series, q, opts)
+	return p.Search(tbl, spec)
 }
 
-// SearchSeries ranks pre-extracted series against the query.
+// SearchSeries ranks pre-extracted series against the query. It is a thin
+// compatibility wrapper over Compile + Plan.Run.
 func SearchSeries(series []dataset.Series, q shape.Query, opts Options) ([]Result, error) {
-	o := opts.normalized()
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	norm, err := shape.Normalize(q)
+	p, err := Compile(q, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	// Push-down (a): a pinned x window means visualizations with no data
-	// inside it can never satisfy the query; drop them at extraction.
-	pinned, allPinned := q.XRanges()
-	if o.Pushdown && len(pinned) > 0 {
-		series = filterSeriesWithData(series, pinned)
-	}
-
-	gcfg := groupConfig{zNormalize: !q.HasYConstraints()}
-	// Push-down (c): when every segment is pinned, GROUP skips summarizing
-	// the unreferenced ranges entirely.
-	if o.Pushdown && allPinned && len(pinned) > 0 {
-		gcfg.keepRanges = padRanges(pinned, xStep(series)*1.5)
-	}
-
-	switch o.Algorithm {
-	case AlgDTW, AlgEuclidean:
-		return distanceSearch(series, norm, gcfg, o)
-	}
-
-	solver, err := o.solver(norm)
-	if err != nil {
-		return nil, err
-	}
-
-	if o.Pruning && (o.Algorithm == AlgAuto || o.Algorithm == AlgSegmentTree) {
-		return searchPruned(series, norm, gcfg, o)
-	}
-
-	type scored struct {
-		res Result
-		ok  bool
-	}
-	evalOne := func(s dataset.Series) (Result, error) {
-		v := group(s, gcfg)
-		if v == nil {
-			return Result{}, nil
-		}
-		if o.Algorithm == AlgExhaustive && v.N() > o.MaxExhaustivePoints {
-			return Result{}, fmt.Errorf("executor: exhaustive search limited to %d points, series %q has %d",
-				o.MaxExhaustivePoints, s.Z, v.N())
-		}
-		sc, ranges, err := evalViz(v, norm, o, solver)
-		if err != nil {
-			return Result{}, err
-		}
-		return makeResult(v, sc, ranges), nil
-	}
-
-	results := make([]scored, len(series))
-	if o.Parallelism > 1 && len(series) > 1 {
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		var firstErr error
-		sem := make(chan struct{}, o.Parallelism)
-		for i := range series {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				r, err := evalOne(series[i])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				results[i] = scored{res: r, ok: r.Series.Len() > 0}
-			}(i)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
-	} else {
-		for i := range series {
-			r, err := evalOne(series[i])
-			if err != nil {
-				return nil, err
-			}
-			results[i] = scored{res: r, ok: r.Series.Len() > 0}
-		}
-	}
-
-	heap := topk.New[Result](o.K)
-	for _, r := range results {
-		if r.ok {
-			heap.Add(r.res.Score, r.res)
-		}
-	}
-	return collect(heap), nil
+	return p.Run(series)
 }
 
 // solver picks the runSolver for the configured algorithm.
@@ -376,41 +277,6 @@ func xStep(series []dataset.Series) float64 {
 		}
 	}
 	return 1
-}
-
-// distanceSearch ranks visualizations by DTW or Euclidean distance to a
-// reference trendline synthesized from the query — the value-based matching
-// of visual query systems that Section 9 compares against.
-func distanceSearch(series []dataset.Series, norm shape.Normalized, gcfg groupConfig, o *Options) ([]Result, error) {
-	heap := topk.New[Result](o.K)
-	refs := make(map[int][]float64) // reference per length, per alternative index*1e9+len
-	for _, s := range series {
-		v := group(s, gcfg)
-		if v == nil {
-			continue
-		}
-		target := dtw.ZNormalized(v.Series.Y)
-		best := math.Inf(-1)
-		for ai, alt := range norm.Alternatives {
-			key := ai*1000000 + v.N()
-			ref, ok := refs[key]
-			if !ok {
-				ref = dtw.ZNormalized(renderReference(alt, v.N()))
-				refs[key] = ref
-			}
-			var d float64
-			if o.Algorithm == AlgDTW {
-				d = dtw.BandDistance(ref, target, o.DTWBand)
-			} else {
-				d = dtw.Euclidean(ref, target)
-			}
-			if sc := dtw.Similarity(d, v.N(), 2.0); sc > best {
-				best = sc
-			}
-		}
-		heap.Add(best, Result{Z: s.Z, Score: best, Series: s})
-	}
-	return collect(heap), nil
 }
 
 // renderReference synthesizes the piecewise-linear trendline a chain

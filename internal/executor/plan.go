@@ -1,0 +1,466 @@
+package executor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/dtw"
+	"shapesearch/internal/shape"
+	"shapesearch/internal/topk"
+)
+
+// Plan is a compiled query: validation, normalization, solver selection and
+// nested sub-query compilation are done once at Compile time, so the same
+// plan can be executed against many series collections (and from many
+// goroutines) without repeating that work. Plans are immutable after
+// Compile and safe for concurrent use.
+type Plan struct {
+	opts *Options
+	norm shape.Normalized
+	// solver segments fuzzy unit runs; nil for distance rankings.
+	solver runSolver
+	// distance marks the DTW/Euclidean value-based baselines.
+	distance bool
+	// prune enables the two-stage collective pruning pipeline.
+	prune bool
+	// pinned holds the query's pinned x windows; allPinned reports whether
+	// every segment is pinned (the non-fuzzy push-down case).
+	pinned    [][2]float64
+	allPinned bool
+	// yConstrained disables z-normalization in GROUP (Section 5.3).
+	yConstrained bool
+}
+
+// Compile prepares a query for repeated execution: it validates the query,
+// normalizes it into alternative chains, selects the segmentation solver,
+// pre-normalizes nested sub-queries, and checks user-defined pattern
+// references — everything that previously ran per SearchSeries call.
+func Compile(q shape.Query, opts Options) (*Plan, error) {
+	o := opts.normalized()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	norm, err := shape.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{opts: o, norm: norm}
+	p.pinned, p.allPinned = q.XRanges()
+	p.yConstrained = q.HasYConstraints()
+	switch o.Algorithm {
+	case AlgDTW, AlgEuclidean:
+		p.distance = true
+	default:
+		p.solver, err = o.solver(norm)
+		if err != nil {
+			return nil, err
+		}
+		p.prune = o.Pruning && (o.Algorithm == AlgAuto || o.Algorithm == AlgSegmentTree)
+	}
+	// Hoist nested sub-query normalization and UDP resolution out of the
+	// per-visualization chain compilation.
+	pre := make(map[*shape.Node]shape.Normalized)
+	var compileErr error
+	for _, alt := range norm.Alternatives {
+		for _, u := range alt.Units {
+			u.Node.Walk(func(m *shape.Node) {
+				if compileErr != nil || m.Kind != shape.NodeSegment {
+					return
+				}
+				seg := m.Seg
+				if seg.Pat.Kind == shape.PatUDP {
+					if _, ok := o.UDPs.Lookup(seg.Pat.Name); !ok {
+						compileErr = fmt.Errorf("executor: unknown user-defined pattern %q", seg.Pat.Name)
+					}
+				}
+				if seg.Pat.Kind == shape.PatNested {
+					if _, done := pre[seg.Pat.Sub]; done {
+						return
+					}
+					sub, err := shape.Normalize(shape.Query{Root: seg.Pat.Sub})
+					if err != nil {
+						compileErr = err
+						return
+					}
+					pre[seg.Pat.Sub] = sub
+				}
+			})
+		}
+	}
+	if compileErr != nil {
+		return nil, compileErr
+	}
+	if len(pre) > 0 {
+		o.nestedPre = pre
+	}
+	return p, nil
+}
+
+// Options returns a copy of the plan's normalized options.
+func (p *Plan) Options() Options { return *p.opts }
+
+// EffectiveSpec applies the LOCATION push-down of Section 5.4 (a)/(c) to an
+// extraction spec: when every segment is pinned, rows outside the referenced
+// x windows are never materialized.
+func (p *Plan) EffectiveSpec(spec dataset.ExtractSpec) dataset.ExtractSpec {
+	if p.opts.Pushdown && p.allPinned && len(p.pinned) > 0 {
+		pad := 0.0
+		for _, r := range p.pinned {
+			if w := (r[1] - r[0]) * 0.05; w > pad {
+				pad = w
+			}
+		}
+		spec.XRanges = padRanges(p.pinned, pad)
+	}
+	return spec
+}
+
+// CandidateKey fingerprints everything that determines the plan's grouped
+// candidate set for a spec: the effective extraction spec plus the GROUP
+// configuration (z-normalization and push-down skip windows). Two plans
+// with equal keys over the same table produce identical GroupSeries output,
+// which is the server-side candidate cache's keying contract. The dataset
+// identity itself is NOT part of the key; cache owners must scope keys by
+// dataset (and invalidate on upload).
+func (p *Plan) CandidateKey(spec dataset.ExtractSpec) string {
+	espec := p.EffectiveSpec(spec)
+	var sb strings.Builder
+	// Variable-length string fields are %q-escaped so crafted values (e.g.
+	// embedded NULs in a filter string) cannot forge another spec's key.
+	fmt.Fprintf(&sb, "z=%q\x00x=%q\x00y=%q\x00agg=%d", espec.Z, espec.X, espec.Y, int(espec.Agg))
+	for _, f := range espec.Filters {
+		fmt.Fprintf(&sb, "\x00f=%q|%d|%g|%q", f.Col, int(f.Op), f.Num, f.Str)
+	}
+	for _, r := range espec.XRanges {
+		fmt.Fprintf(&sb, "\x00xr=%g:%g", r[0], r[1])
+	}
+	fmt.Fprintf(&sb, "\x00znorm=%v", !p.yConstrained)
+	if p.opts.Pushdown && len(p.pinned) > 0 {
+		// Push-down (a) filtering and (c) skip windows shape the grouped
+		// candidates; both derive deterministically from the pinned ranges.
+		fmt.Fprintf(&sb, "\x00pd=%v", p.allPinned)
+		for _, r := range p.pinned {
+			fmt.Fprintf(&sb, "\x00pin=%g:%g", r[0], r[1])
+		}
+	}
+	return sb.String()
+}
+
+// groupCfg builds the GROUP configuration for a series collection (the
+// skip-window padding depends on the collection's sampling interval).
+func (p *Plan) groupCfg(series []dataset.Series) groupConfig {
+	gcfg := groupConfig{zNormalize: !p.yConstrained}
+	if p.opts.Pushdown && p.allPinned && len(p.pinned) > 0 {
+		gcfg.keepRanges = padRanges(p.pinned, xStep(series)*1.5)
+	}
+	return gcfg
+}
+
+// GroupSeries runs the push-down filter and the GROUP operator over a
+// series collection, returning the candidate visualizations RunGrouped
+// scores. The result is what a serving layer caches to skip EXTRACT +
+// GROUP on repeated queries with the same visual parameters.
+func (p *Plan) GroupSeries(series []dataset.Series) []*Viz {
+	if p.opts.Pushdown && len(p.pinned) > 0 {
+		series = filterSeriesWithData(series, p.pinned)
+	}
+	gcfg := p.groupCfg(series)
+	vizs := make([]*Viz, 0, len(series))
+	for _, s := range series {
+		if v := group(s, gcfg); v != nil {
+			vizs = append(vizs, v)
+		}
+	}
+	return vizs
+}
+
+// Search runs the full EXTRACT → GROUP → SEGMENT → SCORE pipeline over a
+// table.
+func (p *Plan) Search(tbl *dataset.Table, spec dataset.ExtractSpec) ([]Result, error) {
+	series, err := dataset.Extract(tbl, p.EffectiveSpec(spec))
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(series)
+}
+
+// Run ranks pre-extracted series against the compiled query.
+func (p *Plan) Run(series []dataset.Series) ([]Result, error) {
+	if p.opts.Pushdown && len(p.pinned) > 0 {
+		series = filterSeriesWithData(series, p.pinned)
+	}
+	gcfg := p.groupCfg(series)
+	return p.run(len(series), func(i int) *Viz { return group(series[i], gcfg) })
+}
+
+// RunGrouped ranks pre-grouped candidate visualizations (from GroupSeries,
+// possibly served from a cache) against the compiled query, skipping the
+// EXTRACT and GROUP stages entirely.
+func (p *Plan) RunGrouped(vizs []*Viz) ([]Result, error) {
+	return p.run(len(vizs), func(i int) *Viz { return vizs[i] })
+}
+
+// sharedTopK is the mutex-guarded heap every pipeline worker feeds; its
+// floor (the current k-th best score) is the live pruning threshold.
+type sharedTopK struct {
+	mu   sync.Mutex
+	heap *topk.Heap[float64]
+}
+
+func (s *sharedTopK) add(score float64) {
+	s.mu.Lock()
+	s.heap.Add(score, score)
+	s.mu.Unlock()
+}
+
+func (s *sharedTopK) floor() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.Floor()
+}
+
+// run is the unified scoring pipeline: a pool of Parallelism workers pulls
+// candidate indices, groups/evaluates them, and shares one top-k heap whose
+// floor feeds upperBoundBelow as the collective pruning threshold (Section
+// 6.3). Pruning and parallelism compose: with one worker the pipeline
+// degenerates to the old sequential pruned scan; with many, every worker
+// both benefits from and tightens the shared threshold.
+//
+// Determinism: workers record survivors per index and the final top-k is
+// rebuilt in index order, so equal-scoring candidates resolve identically
+// regardless of worker interleaving. Without pruning the returned top-k
+// therefore matches the sequential result exactly. With pruning it matches
+// whenever the Table 7 bound holds within pruneSafetyMargin — a pruned
+// candidate's exact score then trails the final k-th score, so it cannot
+// belong to the top k. When the bound is violated beyond the margin (the
+// documented heuristic gap; see ROADMAP "Open items"), a borderline
+// candidate's fate can depend on how far the shared floor has risen when
+// its worker reaches it, so pruned runs at Parallelism > 1 may differ on
+// such candidates — the same class the sequential pruned scan already
+// mis-prunes deterministically.
+func (p *Plan) run(n int, viz func(int) *Viz) ([]Result, error) {
+	o := p.opts
+	if p.distance {
+		return p.distanceRun(n, viz)
+	}
+
+	workers := o.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	lb := math.Inf(-1)
+	if p.prune {
+		var sampled []*Viz
+		lb, sampled = p.sampleFloor(n, viz, workers)
+		// Stage 2 reuses the vizs stage 1 already grouped instead of
+		// running GROUP a second time over the sampled indices. The memo
+		// is write-free after this point, so workers read it lock-free.
+		inner := viz
+		viz = func(i int) *Viz {
+			if v := sampled[i]; v != nil {
+				return v
+			}
+			return inner(i)
+		}
+	}
+
+	type slot struct {
+		res Result
+		ok  bool
+	}
+	slots := make([]slot, n)
+	shared := &sharedTopK{heap: topk.New[float64](o.K)}
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		abort    atomic.Bool
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abort.Store(true)
+	}
+
+	forEachIndex(workers, n, func(i int) {
+		if abort.Load() {
+			return
+		}
+		v := viz(i)
+		if v == nil {
+			return
+		}
+		if o.Algorithm == AlgExhaustive && v.N() > o.MaxExhaustivePoints {
+			fail(fmt.Errorf("executor: exhaustive search limited to %d points, series %q has %d",
+				o.MaxExhaustivePoints, v.Series.Z, v.N()))
+			return
+		}
+		if p.prune {
+			threshold := lb
+			if f, ok := shared.floor(); ok && f > threshold {
+				threshold = f
+			}
+			if !math.IsInf(threshold, -1) && upperBoundBelow(v, p.norm, o, threshold) {
+				return
+			}
+		}
+		sc, ranges, err := evalViz(v, p.norm, o, p.solver)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if p.prune {
+			// Tighten the live threshold. Without pruning nothing reads the
+			// shared floor, so skip the lock; the final top-k is rebuilt
+			// from slots either way.
+			shared.add(sc)
+		}
+		slots[i] = slot{res: makeResult(v, sc, ranges), ok: true}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	heap := topk.New[Result](o.K)
+	for _, s := range slots {
+		if s.ok {
+			heap.Add(s.res.Score, s.res)
+		}
+	}
+	return collect(heap), nil
+}
+
+// sampleFloor is stage 1 of the collective pruning (Section 6.3): a small,
+// uniformly chosen sample of visualizations is scored with a coarse-grained
+// DP. Each coarse score is achievable, hence a lower bound on that
+// visualization's optimal score, so the k-th best sampled score seeds the
+// shared pruning threshold before any exact scoring runs. The sample is
+// scored by the same worker count as stage 2; the floor is the k-th best
+// of a fixed set, so worker interleaving cannot change it. The returned
+// slice holds the grouped viz of every sampled index (distinct indices,
+// written by distinct workers, read-only afterwards) so stage 2 need not
+// group them again.
+func (p *Plan) sampleFloor(n int, viz func(int) *Viz, workers int) (float64, []*Viz) {
+	o := p.opts
+	grouped := make([]*Viz, n)
+	sample := o.SampleSize
+	if sample <= 0 {
+		sample = n / 20
+		if sample < 10 {
+			sample = 10
+		}
+	}
+	if sample > n {
+		sample = n
+	}
+	if sample <= 0 {
+		return math.Inf(-1), grouped
+	}
+	step := n / sample
+	if step < 1 {
+		step = 1
+	}
+	var picks []int
+	for i := 0; i < n; i += step {
+		picks = append(picks, i)
+	}
+	stage1 := &sharedTopK{heap: topk.New[float64](o.K)}
+	score := func(i int) {
+		v := viz(i)
+		if v == nil {
+			return
+		}
+		grouped[i] = v
+		coarse := v.N() / 24
+		if coarse < 1 {
+			coarse = 1
+		}
+		if sc, ok := coarseScore(v, p.norm, o, coarse); ok {
+			stage1.add(sc)
+		}
+	}
+	forEachIndex(workers, len(picks), func(k int) { score(picks[k]) })
+	if f, ok := stage1.floor(); ok {
+		return f, grouped
+	}
+	return math.Inf(-1), grouped
+}
+
+// forEachIndex runs fn over [0, n) on the given number of worker
+// goroutines (inline when one suffices), returning once all calls finish.
+func forEachIndex(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// distanceRun ranks visualizations by DTW or Euclidean distance to a
+// reference trendline synthesized from the query — the value-based matching
+// of visual query systems that Section 9 compares against. References are
+// memoized per (alternative, length), so the scan stays sequential.
+func (p *Plan) distanceRun(n int, viz func(int) *Viz) ([]Result, error) {
+	o := p.opts
+	heap := topk.New[Result](o.K)
+	type refKey struct{ alt, n int }
+	refs := make(map[refKey][]float64) // reference per alternative index and length
+	for i := 0; i < n; i++ {
+		v := viz(i)
+		if v == nil {
+			continue
+		}
+		target := dtw.ZNormalized(v.Series.Y)
+		best := math.Inf(-1)
+		for ai, alt := range p.norm.Alternatives {
+			key := refKey{ai, v.N()}
+			ref, ok := refs[key]
+			if !ok {
+				ref = dtw.ZNormalized(renderReference(alt, v.N()))
+				refs[key] = ref
+			}
+			var d float64
+			if o.Algorithm == AlgDTW {
+				d = dtw.BandDistance(ref, target, o.DTWBand)
+			} else {
+				d = dtw.Euclidean(ref, target)
+			}
+			if sc := dtw.Similarity(d, v.N(), 2.0); sc > best {
+				best = sc
+			}
+		}
+		heap.Add(best, Result{Z: v.Series.Z, Score: best, Series: v.Series})
+	}
+	return collect(heap), nil
+}

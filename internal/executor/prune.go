@@ -3,86 +3,17 @@ package executor
 import (
 	"math"
 
-	"shapesearch/internal/dataset"
 	"shapesearch/internal/score"
 	"shapesearch/internal/shape"
-	"shapesearch/internal/topk"
 )
 
-// searchPruned implements the two-stage collective pruning of Section 6.3.
-//
-// Stage 1 scores a small, uniformly chosen sample of visualizations with a
-// coarse-grained DP (a sub-sampled candidate grid). Each coarse score is
-// achievable, hence a lower bound on that visualization's optimal score, so
-// the k-th best sampled score lower-bounds the final top-k floor.
-//
-// Stage 2 walks the SegmentTree levels bottom-up for every visualization,
-// bounding the query score from the per-level node slopes via Table 7
-// (Theorem 6.4) plus the operator boundedness of Property 5.1. A
-// visualization whose upper bound falls below the current top-k floor is
-// pruned without running the full SegmentTree.
-func searchPruned(series []dataset.Series, norm shape.Normalized, gcfg groupConfig, o *Options) ([]Result, error) {
-	heap := topk.New[Result](o.K)
-	lb := math.Inf(-1)
-
-	// Stage 1: sampled coarse lower bounds.
-	sample := o.SampleSize
-	if sample <= 0 {
-		sample = len(series) / 20
-		if sample < 10 {
-			sample = 10
-		}
-	}
-	if sample > len(series) {
-		sample = len(series)
-	}
-	if sample > 0 {
-		step := len(series) / sample
-		if step < 1 {
-			step = 1
-		}
-		stage1 := topk.New[float64](o.K)
-		for i := 0; i < len(series); i += step {
-			v := group(series[i], gcfg)
-			if v == nil {
-				continue
-			}
-			coarse := v.N() / 24
-			if coarse < 1 {
-				coarse = 1
-			}
-			sc, ok := coarseScore(v, norm, o, coarse)
-			if ok {
-				stage1.Add(sc, sc)
-			}
-		}
-		if f, ok := stage1.Floor(); ok {
-			lb = f
-		}
-	}
-
-	// Stage 2: level-wise refinement and pruning, then exact scoring.
-	pruned := 0
-	for i := range series {
-		v := group(series[i], gcfg)
-		if v == nil {
-			continue
-		}
-		if f, ok := heap.Floor(); ok && f > lb {
-			lb = f
-		}
-		if !math.IsInf(lb, -1) && upperBoundBelow(v, norm, o, lb) {
-			pruned++
-			continue
-		}
-		sc, ranges, err := evalViz(v, norm, o, treeRun)
-		if err != nil {
-			return nil, err
-		}
-		heap.Add(sc, makeResult(v, sc, ranges))
-	}
-	return collect(heap), nil
-}
+// The two-stage collective pruning of Section 6.3 lives in the unified
+// Plan pipeline (plan.go): stage 1 (Plan.sampleFloor) seeds the shared
+// top-k heap's floor from sampled coarse lower bounds, and stage 2 runs
+// inside every pipeline worker, where upperBoundBelow walks the
+// SegmentTree levels bottom-up and compares the Table 7 (Theorem 6.4)
+// score bound against the live shared threshold. This file keeps the
+// bound machinery itself.
 
 // coarseScore runs the DP on a sub-sampled candidate grid; the result is a
 // valid (achievable) score and therefore a lower bound.

@@ -82,6 +82,17 @@ func baseOptions(cfg Config) executor.Options {
 	return o
 }
 
+// mustCompile builds a reusable query plan; the experiments compile once
+// outside the timed region so the runtimes isolate execution cost, as the
+// paper's figures do.
+func mustCompile(q shape.Query, opts executor.Options) *executor.Plan {
+	p, err := executor.Compile(q, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // Fig10 reproduces Figure 10: average running time of each algorithm over
 // the fuzzy queries of each dataset (error bounds are the min/max across
 // queries and trials).
@@ -100,8 +111,9 @@ func Fig10(cfg Config) Table {
 			var total time.Duration
 			n := 0
 			for _, q := range set.fuzzy {
+				plan := mustCompile(q, opts)
 				m, lo, hi := timeIt(cfg.Trials, func() {
-					if _, err := executor.SearchSeries(set.series, q, opts); err != nil {
+					if _, err := plan.Run(set.series); err != nil {
 						panic(err)
 					}
 				})
@@ -143,8 +155,9 @@ func Fig11(cfg Config) Table {
 		off.Pushdown = false
 		q := set.nonFuzzy
 		run := func(opts executor.Options) time.Duration {
+			plan := mustCompile(q, opts)
 			mean, _, _ := timeIt(cfg.Trials, func() {
-				if _, err := executor.Search(set.table, set.spec, q, opts); err != nil {
+				if _, err := plan.Search(set.table, set.spec); err != nil {
 					panic(err)
 				}
 			})
@@ -199,8 +212,9 @@ func Fig13a(cfg Config) Table {
 			opts := baseOptions(cfg)
 			opts.Algorithm = alg.a
 			opts.Pruning = alg.pruning
+			plan := mustCompile(q, opts)
 			mean, _, _ := timeIt(cfg.Trials, func() {
-				if _, err := executor.SearchSeries(prefixes, q, opts); err != nil {
+				if _, err := plan.Run(prefixes); err != nil {
 					panic(err)
 				}
 			})
@@ -248,8 +262,9 @@ func Fig13b(cfg Config) Table {
 			opts := baseOptions(cfg)
 			opts.Algorithm = alg.a
 			opts.Pruning = alg.pruning
+			plan := mustCompile(q, opts)
 			mean, _, _ := timeIt(cfg.Trials, func() {
-				if _, err := executor.SearchSeries(series, q, opts); err != nil {
+				if _, err := plan.Run(series); err != nil {
 					panic(err)
 				}
 			})
@@ -294,8 +309,9 @@ func Fig13c(cfg Config) Table {
 			opts := baseOptions(cfg)
 			opts.Algorithm = alg.a
 			opts.Pruning = alg.pruning
+			plan := mustCompile(q, opts)
 			mean, _, _ := timeIt(cfg.Trials, func() {
-				if _, err := executor.SearchSeries(sub, q, opts); err != nil {
+				if _, err := plan.Run(sub); err != nil {
 					panic(err)
 				}
 			})

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shapesearch/internal/executor"
+)
+
+// defaultCacheCapacity bounds the number of cached candidate sets. Each
+// entry holds the grouped Viz slices for one (dataset version, effective
+// extract spec, group config) combination; a handful of visual-parameter
+// combinations per dataset is typical, so a small bound suffices.
+const defaultCacheCapacity = 64
+
+// cacheKey scopes a plan's candidate key by dataset identity and version;
+// bumping the version on upload makes every stale entry unreachable.
+func cacheKey(dataset string, version uint64, planKey string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", dataset, version, planKey)
+}
+
+// candidateCache memoizes the EXTRACT + GROUP stages of the pipeline: the
+// grouped candidate visualizations for one dataset version and one set of
+// visual parameters. Entries are immutable once stored (executor.Viz is
+// read-only during scoring), so concurrent readers share them safely.
+type candidateCache struct {
+	mu       sync.Mutex
+	enabled  bool
+	capacity int
+	entries  map[string]cacheEntry
+	// flights coalesces concurrent misses on one key: a single leader
+	// builds the candidate set while the rest wait and share the result.
+	flights map[string]*flight
+	// hits and misses instrument the cache for tests and expvar-style
+	// debugging. Joining an in-progress flight counts as a hit (the work
+	// is shared, not repeated).
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	dataset string
+	vizs    []*executor.Viz
+}
+
+type flight struct {
+	done chan struct{}
+	vizs []*executor.Viz
+	err  error
+}
+
+func newCandidateCache(capacity int) *candidateCache {
+	return &candidateCache{
+		enabled:  true,
+		capacity: capacity,
+		entries:  make(map[string]cacheEntry),
+		flights:  make(map[string]*flight),
+	}
+}
+
+func (c *candidateCache) disable() {
+	c.mu.Lock()
+	c.enabled = false
+	c.entries = make(map[string]cacheEntry)
+	c.mu.Unlock()
+}
+
+// fetch returns the candidates for key, building them on a miss.
+// Concurrent misses on the same key coalesce (singleflight): one leader
+// runs build while the rest wait on its result, so a cold cache under a
+// burst of identical queries extracts and groups once, not N times.
+// hit reports whether this call reused existing or in-flight work (false
+// only for the leader of a fresh build).
+func (c *candidateCache) fetch(dataset, key string, build func() ([]*executor.Viz, error)) (vizs []*executor.Viz, hit bool, err error) {
+	c.mu.Lock()
+	if !c.enabled {
+		c.mu.Unlock()
+		vizs, err = build()
+		return vizs, false, err
+	}
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return e.vizs, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.vizs, true, f.err
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{}), err: errBuildAbandoned}
+	c.flights[key] = f
+	// The bookkeeping runs in a defer so a panicking build (which net/http
+	// recovers per request) still unregisters the flight and releases its
+	// waiters — with errBuildAbandoned, since f.err was never overwritten —
+	// instead of wedging the key forever.
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil && c.enabled {
+			if _, ok := c.entries[key]; !ok && len(c.entries) >= c.capacity {
+				// Evict an arbitrary entry; the cache is a small working
+				// set and precise LRU bookkeeping is not worth the extra
+				// state.
+				for k := range c.entries {
+					delete(c.entries, k)
+					break
+				}
+			}
+			c.entries[key] = cacheEntry{dataset: dataset, vizs: f.vizs}
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	c.mu.Unlock()
+
+	vizs, err = build()
+	f.vizs, f.err = vizs, err
+	return vizs, false, err
+}
+
+// errBuildAbandoned is what flight waiters observe when the leader's build
+// panicked instead of returning.
+var errBuildAbandoned = errors.New("server: candidate build did not complete")
+
+// remove drops one entry (used to reap a store that raced an upload).
+func (c *candidateCache) remove(key string) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
+// invalidateDataset drops every entry built from the named dataset. The
+// version bump in the key already makes stale entries unreachable; dropping
+// them too returns the memory immediately.
+func (c *candidateCache) invalidateDataset(dataset string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.dataset == dataset {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// stats reports (hits, misses) so tests can assert cache behavior.
+func (c *candidateCache) stats() (uint64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

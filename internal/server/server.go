@@ -16,9 +16,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"shapesearch/internal/dataset"
 	"shapesearch/internal/executor"
@@ -30,17 +32,24 @@ import (
 
 // Server hosts datasets and serves shape queries. Safe for concurrent use.
 type Server struct {
-	mu     sync.RWMutex
-	tables map[string]*dataset.Table
-	nl     *nlparser.Parser
-	mux    *http.ServeMux
+	mu       sync.RWMutex
+	tables   map[string]*dataset.Table
+	versions map[string]uint64
+	nl       *nlparser.Parser
+	mux      *http.ServeMux
+	cache    *candidateCache
+	// inflight counts searches currently executing; it divides the CPU
+	// budget across concurrent requests (see searchParallelism).
+	inflight atomic.Int64
 }
 
 // New returns a server with no datasets registered.
 func New() *Server {
 	s := &Server{
-		tables: make(map[string]*dataset.Table),
-		nl:     nlparser.NewParser(),
+		tables:   make(map[string]*dataset.Table),
+		versions: make(map[string]uint64),
+		nl:       nlparser.NewParser(),
+		cache:    newCandidateCache(defaultCacheCapacity),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/health", s.handleHealth)
@@ -52,12 +61,42 @@ func New() *Server {
 	return s
 }
 
-// Register adds (or replaces) a named dataset.
+// Register adds (or replaces) a named dataset. Replacing a dataset bumps
+// its version, invalidating every cached candidate set built from the old
+// data.
 func (s *Server) Register(name string, t *dataset.Table) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.tables[name] = t
+	s.versions[name]++
+	s.mu.Unlock()
+	s.cache.invalidateDataset(name)
 }
+
+// DisableCache turns the candidate cache off (used by benchmarks to
+// measure the uncached serving path).
+func (s *Server) DisableCache() { s.cache.disable() }
+
+// searchParallelism budgets scoring workers for one search: the machine's
+// cores are divided across the searches in flight at admission time (a
+// lone request gets them all, a saturated server hands each new request a
+// fair slice), and an explicit client ask only ever lowers the budget.
+// Budgets are fixed at admission, so staggered arrivals can transiently
+// exceed the core count — this bounds oversubscription to a small
+// multiple and converges under sustained load, rather than enforcing a
+// hard global cap. Callers must pair it with endSearch.
+func (s *Server) searchParallelism(requested int) int {
+	inflight := s.inflight.Add(1)
+	budget := int64(runtime.GOMAXPROCS(0)) / inflight
+	if budget < 1 {
+		budget = 1
+	}
+	if requested > 0 && int64(requested) < budget {
+		budget = int64(requested)
+	}
+	return int(budget)
+}
+
+func (s *Server) endSearch() { s.inflight.Add(-1) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -213,6 +252,12 @@ type searchRequest struct {
 	// Algorithm: auto, dp, segmenttree, greedy, dtw, euclidean.
 	Algorithm string `json:"algorithm,omitempty"`
 	Pruning   bool   `json:"pruning,omitempty"`
+	// Parallelism caps the scoring workers for this request. It is an
+	// upper bound, not a guarantee: the server divides its cores across
+	// in-flight searches and an explicit value only ever lowers that
+	// budget (0, the default, accepts the full budget). Ignored by the
+	// dtw/euclidean baselines, which scan sequentially.
+	Parallelism int `json:"parallelism,omitempty"`
 	// MaxPoints caps the number of series points echoed per result
 	// (downsampled for plotting); 0 means 200.
 	MaxPoints int `json:"maxPoints,omitempty"`
@@ -252,6 +297,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	tbl, ok := s.tables[req.Dataset]
+	version := s.versions[req.Dataset]
 	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", req.Dataset))
@@ -272,13 +318,50 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		opts.K = req.K
 	}
 	opts.Pruning = req.Pruning
+	opts.Parallelism = s.searchParallelism(req.Parallelism)
+	defer s.endSearch()
 	if alg, err := algorithmByName(req.Algorithm); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	} else {
 		opts.Algorithm = alg
 	}
-	results, err := executor.Search(tbl, spec, q, opts)
+	plan, err := executor.Compile(q, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Candidate cache: repeated queries over the same visual parameters
+	// (dataset version + effective extract spec + group config) reuse the
+	// grouped Viz slices and skip EXTRACT + GROUP entirely; concurrent
+	// cold misses coalesce into one extraction.
+	key := cacheKey(req.Dataset, version, plan.CandidateKey(spec))
+	vizs, hit, err := s.cache.fetch(req.Dataset, key, func() ([]*executor.Viz, error) {
+		series, err := dataset.Extract(tbl, plan.EffectiveSpec(spec))
+		if err != nil {
+			return nil, err
+		}
+		return plan.GroupSeries(series), nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !hit {
+		// Re-check the version after the store: if the dataset was replaced
+		// while we extracted, our old-version key is unreachable forever yet
+		// occupies a cache slot — remove it. Every interleaving is covered:
+		// a Register completing before this re-check is caught here, and one
+		// completing after our store deletes the entry by dataset name in
+		// invalidateDataset.
+		s.mu.RLock()
+		current := s.versions[req.Dataset]
+		s.mu.RUnlock()
+		if current != version {
+			s.cache.remove(key)
+		}
+	}
+	results, err := plan.RunGrouped(vizs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

@@ -76,6 +76,9 @@ type (
 type (
 	// Options configures a search.
 	Options = executor.Options
+	// Plan is a compiled query, reusable (and safe for concurrent use)
+	// across many Run/Search calls.
+	Plan = executor.Plan
 	// Result is one matched visualization.
 	Result = executor.Result
 	// Algorithm selects the segmentation strategy.
@@ -232,13 +235,22 @@ func SketchBlurry(points []Point, cfg SketchConfig) (Query, error) {
 // DefaultSketchConfig returns the default blurry-inference settings.
 func DefaultSketchConfig() SketchConfig { return sketch.DefaultConfig() }
 
+// Compile prepares a query for repeated execution: validation,
+// normalization, solver selection and nested sub-query compilation run
+// once, and the resulting Plan can score many series collections (from
+// many goroutines) via Plan.Run, Plan.RunGrouped or Plan.Search.
+func Compile(q Query, opts Options) (*Plan, error) { return executor.Compile(q, opts) }
+
 // Search extracts candidate visualizations and ranks them against the
-// query — the full EXTRACT → GROUP → SEGMENT → SCORE pipeline.
+// query — the full EXTRACT → GROUP → SEGMENT → SCORE pipeline. It is a
+// thin wrapper over Compile + Plan.Search; issue repeated queries through
+// a compiled Plan instead.
 func Search(t *Table, spec ExtractSpec, q Query, opts Options) ([]Result, error) {
 	return executor.Search(t, spec, q, opts)
 }
 
-// SearchSeries ranks pre-extracted trendlines against the query.
+// SearchSeries ranks pre-extracted trendlines against the query (a thin
+// wrapper over Compile + Plan.Run).
 func SearchSeries(series []Series, q Query, opts Options) ([]Result, error) {
 	return executor.SearchSeries(series, q, opts)
 }
