@@ -96,7 +96,9 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 	if err != nil {
 		return err
 	}
-	results, err := plan.Search(tbl, spec)
+	// Search through the columnar index — the same path the server serves
+	// from, so CLI results and timings match served queries.
+	results, err := plan.Search(shapesearch.BuildIndex(tbl), spec)
 	if err != nil {
 		return err
 	}

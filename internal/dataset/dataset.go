@@ -3,6 +3,14 @@
 // predicates, and the EXTRACT step that selects, aggregates and sorts
 // records into candidate trendline series according to the visual
 // parameters z, x and y.
+//
+// EXTRACT has two physical implementations behind the Source interface: the
+// legacy row-at-a-time scan over a bare *Table (package-level Extract), and
+// the columnar *Index built by BuildIndex — dictionary-encoded grouping
+// keys, memoized (z, x) sort permutations walked as contiguous z-runs, and
+// vectorized filter kernels over a selection bitmap. Both produce identical
+// Series; serving layers index tables once at registration and extract
+// through the index.
 package dataset
 
 import (
@@ -244,26 +252,55 @@ type ExtractSpec struct {
 	XRanges [][2]float64
 }
 
+// Source is anything the EXTRACT operator can run against: a bare *Table
+// (the legacy row-at-a-time path) or an *Index (the columnar path with
+// dictionary-encoded grouping and vectorized filters). Both produce
+// identical Series for identical specs.
+type Source interface {
+	// Table returns the underlying columnar table (for metadata access).
+	Table() *Table
+	// Extract selects and aggregates records into one Series per distinct
+	// z value, sorted on z then x.
+	Extract(spec ExtractSpec) ([]Series, error)
+}
+
+// Table returns the table itself, making *Table a Source.
+func (t *Table) Table() *Table { return t }
+
+// Extract runs the legacy row-at-a-time EXTRACT over the table; it is the
+// method form of the package-level Extract.
+func (t *Table) Extract(spec ExtractSpec) ([]Series, error) { return Extract(t, spec) }
+
+// resolveSpec resolves and validates the z/x/y attributes of a spec against
+// a table; both extraction paths share its checks and error messages.
+func resolveSpec(t *Table, spec ExtractSpec) (zc, xc, yc *Column, err error) {
+	zc, err = t.Column(spec.Z)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	xc, err = t.Column(spec.X)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if xc.Type != Float {
+		return nil, nil, nil, fmt.Errorf("dataset: x attribute %q must be numeric", spec.X)
+	}
+	yc, err = t.Column(spec.Y)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if yc.Type != Float {
+		return nil, nil, nil, fmt.Errorf("dataset: y attribute %q must be numeric", spec.Y)
+	}
+	return zc, xc, yc, nil
+}
+
 // Extract selects and aggregates records into one Series per distinct z
 // value, sorted on z then x (the EXTRACT physical operator, Section 5.3).
 func Extract(t *Table, spec ExtractSpec) ([]Series, error) {
-	zc, err := t.Column(spec.Z)
+	zc, xc, yc, err := resolveSpec(t, spec)
 	if err != nil {
 		return nil, err
-	}
-	xc, err := t.Column(spec.X)
-	if err != nil {
-		return nil, err
-	}
-	if xc.Type != Float {
-		return nil, fmt.Errorf("dataset: x attribute %q must be numeric", spec.X)
-	}
-	yc, err := t.Column(spec.Y)
-	if err != nil {
-		return nil, err
-	}
-	if yc.Type != Float {
-		return nil, fmt.Errorf("dataset: y attribute %q must be numeric", spec.Y)
 	}
 	fcols := make([]*Column, len(spec.Filters))
 	for i, f := range spec.Filters {
@@ -289,7 +326,7 @@ rows:
 			}
 		}
 		x := xc.Floats[i]
-		if len(spec.XRanges) > 0 && !inRanges(x, spec.XRanges) {
+		if len(spec.XRanges) > 0 && !InRanges(x, spec.XRanges) {
 			continue
 		}
 		y := yc.Floats[i]
@@ -307,7 +344,10 @@ rows:
 	series := make([]Series, 0, len(order))
 	for _, z := range order {
 		pts := groups[z]
-		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		// Stable, so duplicate-x points keep row order: aggregation then
+		// sums duplicates in the same order as the index-backed path,
+		// keeping the two extraction paths float-bit-identical.
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
 		s := Series{Z: z, X: make([]float64, 0, len(pts)), Y: make([]float64, 0, len(pts))}
 		for i := 0; i < len(pts); {
 			j := i
@@ -315,8 +355,7 @@ rows:
 				j++
 			}
 			if j-i > 1 && spec.Agg == AggNone {
-				return nil, fmt.Errorf("dataset: multiple y values at %s=%q, %s=%v; specify an aggregation",
-					spec.Z, z, spec.X, pts[i].x)
+				return nil, duplicateErr(spec, z, pts[i].x)
 			}
 			s.X = append(s.X, pts[i].x)
 			s.Y = append(s.Y, aggregate(pts[i:j], spec.Agg))
@@ -328,6 +367,13 @@ rows:
 }
 
 type point struct{ x, y float64 }
+
+// duplicateErr is the shared AggNone-with-duplicates error of both
+// extraction paths.
+func duplicateErr(spec ExtractSpec, z string, x float64) error {
+	return fmt.Errorf("dataset: multiple y values at %s=%q, %s=%v; specify an aggregation",
+		spec.Z, z, spec.X, x)
+}
 
 func aggregate(pts []point, a Agg) float64 {
 	switch a {
@@ -364,7 +410,10 @@ func aggregate(pts []point, a Agg) float64 {
 	}
 }
 
-func inRanges(x float64, ranges [][2]float64) bool {
+// InRanges reports whether x falls inside any of the inclusive [start, end]
+// windows. It is the one shared range test for the LOCATION push-down: the
+// EXTRACT row filter and the executor's GROUP skip-mask both use it.
+func InRanges(x float64, ranges [][2]float64) bool {
 	for _, r := range ranges {
 		if x >= r[0] && x <= r[1] {
 			return true

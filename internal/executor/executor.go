@@ -159,22 +159,23 @@ type Result struct {
 	Series dataset.Series
 }
 
-// Search extracts candidate visualizations from a table per the visual
-// parameters and ranks them against the query: the full EXTRACT → GROUP →
-// SEGMENT → SCORE pipeline. For non-fuzzy queries with push-down enabled,
-// LOCATION windows are pushed into EXTRACT so rows outside every referenced
-// x range are never materialized (Section 5.4 (a)/(c); the paper re-adds
-// the ignored ranges only when plotting the top-k).
+// Search extracts candidate visualizations from a data source (a bare
+// *dataset.Table or a *dataset.Index) per the visual parameters and ranks
+// them against the query: the full EXTRACT → GROUP → SEGMENT → SCORE
+// pipeline. For non-fuzzy queries with push-down enabled, LOCATION windows
+// are pushed into EXTRACT so rows outside every referenced x range are
+// never materialized (Section 5.4 (a)/(c); the paper re-adds the ignored
+// ranges only when plotting the top-k).
 //
 // Search is a thin compatibility wrapper over Compile + Plan.Search;
 // callers issuing the same query repeatedly should compile once and reuse
 // the plan.
-func Search(tbl *dataset.Table, spec dataset.ExtractSpec, q shape.Query, opts Options) ([]Result, error) {
+func Search(src dataset.Source, spec dataset.ExtractSpec, q shape.Query, opts Options) ([]Result, error) {
 	p, err := Compile(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	return p.Search(tbl, spec)
+	return p.Search(src, spec)
 }
 
 // SearchSeries ranks pre-extracted series against the query. It is a thin

@@ -179,9 +179,12 @@ func (p *Plan) GroupSeries(series []dataset.Series) []*Viz {
 }
 
 // Search runs the full EXTRACT → GROUP → SEGMENT → SCORE pipeline over a
-// table.
-func (p *Plan) Search(tbl *dataset.Table, spec dataset.ExtractSpec) ([]Result, error) {
-	series, err := dataset.Extract(tbl, p.EffectiveSpec(spec))
+// data source: a bare *dataset.Table (legacy row-at-a-time extraction) or a
+// *dataset.Index (columnar extraction with dictionary-encoded grouping and
+// vectorized filters). Filter validation happens once, up front, inside the
+// source's Extract — never per row.
+func (p *Plan) Search(src dataset.Source, spec dataset.ExtractSpec) ([]Result, error) {
+	series, err := src.Extract(p.EffectiveSpec(spec))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,75 @@
+package executor
+
+import (
+	"testing"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/gen"
+	"shapesearch/internal/regexlang"
+)
+
+// TestPruningLossinessRegression pins the ROADMAP "pruning bound lossiness"
+// open item so any change to the margin or the bound is observable.
+//
+// The Table 7 bound argument assumes unit ranges are unions of whole
+// SegmentTree nodes; real breaks can split a node, so upperBoundBelow
+// under-estimates some candidates and pruneSafetyMargin = 0.05 absorbs only
+// part of the gap. On the luminosity demo, "transit024" is a true top-5
+// member for "u;d;u" whose exact score beats the unpruned k-th score by
+// MORE than the margin, yet the pruned scan drops it. This test asserts
+// that exact behavior: if a future change to the margin or to the mid-tree
+// level selection fixes (or shifts) the lossiness, this test fails and must
+// be updated alongside the ROADMAP entry.
+func TestPruningLossinessRegression(t *testing.T) {
+	if pruneSafetyMargin != 0.05 {
+		t.Fatalf("pruneSafetyMargin = %v; this regression test pins behavior at 0.05 — "+
+			"re-derive the pinned candidate and update the ROADMAP open item", pruneSafetyMargin)
+	}
+	lum := gen.Luminosity(40, 300, 1)
+	series, err := dataset.Extract(lum, dataset.ExtractSpec{Z: "star", X: "time", Y: "luminosity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := regexlang.MustParse("u;d;u")
+	opts := DefaultOptions()
+	opts.Algorithm = AlgSegmentTree
+	opts.Parallelism = 1 // sequential: the pruned scan is deterministic
+	opts.K = 5
+
+	opts.Pruning = false
+	exact, err := SearchSeries(series, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != opts.K {
+		t.Fatalf("exact top-k has %d results, want %d", len(exact), opts.K)
+	}
+	const victim = "transit024"
+	var victimScore float64
+	found := false
+	for _, r := range exact {
+		if r.Z == victim {
+			victimScore, found = r.Score, true
+		}
+	}
+	if !found {
+		t.Fatalf("%q not in the exact top-%d; the planted dataset or scoring changed — re-derive the pinned candidate", victim, opts.K)
+	}
+	floor := exact[len(exact)-1].Score
+	if victimScore-floor <= pruneSafetyMargin {
+		t.Fatalf("%q beats the floor by %.4f <= margin %.2f; no longer demonstrates over-pruning beyond the margin",
+			victim, victimScore-floor, pruneSafetyMargin)
+	}
+
+	opts.Pruning = true
+	pruned, err := SearchSeries(series, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pruned {
+		if r.Z == victim {
+			t.Fatalf("%q survived pruning (score %.4f): the Table-7 bound or margin changed — "+
+				"update this pin and the ROADMAP open item", victim, r.Score)
+		}
+	}
+}

@@ -74,7 +74,7 @@ func group(s dataset.Series, cfg groupConfig) *Viz {
 	if cfg.keepRanges != nil {
 		v.Skipped = make([]bool, n)
 		for i := 0; i < n; i++ {
-			v.Skipped[i] = !xInRanges(s.X[i], cfg.keepRanges)
+			v.Skipped[i] = !dataset.InRanges(s.X[i], cfg.keepRanges)
 		}
 	}
 	bins := make([]segstat.Stats, n)
@@ -128,15 +128,6 @@ func (v *Viz) indexAtOrBefore(x float64) int {
 		return i - 1
 	}
 	return i
-}
-
-func xInRanges(x float64, ranges [][2]float64) bool {
-	for _, r := range ranges {
-		if x >= r[0] && x <= r[1] {
-			return true
-		}
-	}
-	return false
 }
 
 // padRanges widens each domain window slightly so boundary points survive

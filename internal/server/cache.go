@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,11 +25,16 @@ func cacheKey(dataset string, version uint64, planKey string) string {
 // grouped candidate visualizations for one dataset version and one set of
 // visual parameters. Entries are immutable once stored (executor.Viz is
 // read-only during scoring), so concurrent readers share them safely.
+// Eviction is LRU — hits move an entry to the front of the recency list,
+// and a store past capacity evicts from the back — so hot specs survive
+// bursts of one-off queries.
 type candidateCache struct {
 	mu       sync.Mutex
 	enabled  bool
 	capacity int
-	entries  map[string]cacheEntry
+	entries  map[string]*list.Element // value: *cacheEntry
+	// order is the recency list: front = most recently used.
+	order *list.List
 	// flights coalesces concurrent misses on one key: a single leader
 	// builds the candidate set while the rest wait and share the result.
 	flights map[string]*flight
@@ -39,6 +45,7 @@ type candidateCache struct {
 }
 
 type cacheEntry struct {
+	key     string
 	dataset string
 	vizs    []*executor.Viz
 }
@@ -53,7 +60,8 @@ func newCandidateCache(capacity int) *candidateCache {
 	return &candidateCache{
 		enabled:  true,
 		capacity: capacity,
-		entries:  make(map[string]cacheEntry),
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
 		flights:  make(map[string]*flight),
 	}
 }
@@ -61,7 +69,8 @@ func newCandidateCache(capacity int) *candidateCache {
 func (c *candidateCache) disable() {
 	c.mu.Lock()
 	c.enabled = false
-	c.entries = make(map[string]cacheEntry)
+	c.entries = make(map[string]*list.Element)
+	c.order = list.New()
 	c.mu.Unlock()
 }
 
@@ -78,10 +87,12 @@ func (c *candidateCache) fetch(dataset, key string, build func() ([]*executor.Vi
 		vizs, err = build()
 		return vizs, false, err
 	}
-	if e, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
 		c.hits++
+		c.order.MoveToFront(el)
+		vizs := el.Value.(*cacheEntry).vizs
 		c.mu.Unlock()
-		return e.vizs, true, nil
+		return vizs, true, nil
 	}
 	if f, ok := c.flights[key]; ok {
 		c.hits++
@@ -100,16 +111,17 @@ func (c *candidateCache) fetch(dataset, key string, build func() ([]*executor.Vi
 		c.mu.Lock()
 		delete(c.flights, key)
 		if f.err == nil && c.enabled {
-			if _, ok := c.entries[key]; !ok && len(c.entries) >= c.capacity {
-				// Evict an arbitrary entry; the cache is a small working
-				// set and precise LRU bookkeeping is not worth the extra
-				// state.
-				for k := range c.entries {
-					delete(c.entries, k)
-					break
+			if el, ok := c.entries[key]; ok {
+				// A concurrent store beat us (e.g. cache re-enabled
+				// mid-flight); refresh in place.
+				el.Value.(*cacheEntry).vizs = f.vizs
+				c.order.MoveToFront(el)
+			} else {
+				c.entries[key] = c.order.PushFront(&cacheEntry{key: key, dataset: dataset, vizs: f.vizs})
+				for len(c.entries) > c.capacity {
+					c.evictOldestLocked()
 				}
 			}
-			c.entries[key] = cacheEntry{dataset: dataset, vizs: f.vizs}
 		}
 		c.mu.Unlock()
 		close(f.done)
@@ -125,10 +137,23 @@ func (c *candidateCache) fetch(dataset, key string, build func() ([]*executor.Vi
 // panicked instead of returning.
 var errBuildAbandoned = errors.New("server: candidate build did not complete")
 
+// evictOldestLocked removes the least recently used entry. Caller holds mu.
+func (c *candidateCache) evictOldestLocked() {
+	back := c.order.Back()
+	if back == nil {
+		return
+	}
+	c.order.Remove(back)
+	delete(c.entries, back.Value.(*cacheEntry).key)
+}
+
 // remove drops one entry (used to reap a store that raced an upload).
 func (c *candidateCache) remove(key string) {
 	c.mu.Lock()
-	delete(c.entries, key)
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
 	c.mu.Unlock()
 }
 
@@ -138,9 +163,12 @@ func (c *candidateCache) remove(key string) {
 func (c *candidateCache) invalidateDataset(dataset string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for k, e := range c.entries {
-		if e.dataset == dataset {
-			delete(c.entries, k)
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		if e := el.Value.(*cacheEntry); e.dataset == dataset {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
 		}
 	}
 }

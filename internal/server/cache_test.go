@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"shapesearch/internal/executor"
+)
+
+func fill(t *testing.T, c *candidateCache, key string) {
+	t.Helper()
+	_, _, err := c.fetch("ds", key, func() ([]*executor.Viz, error) {
+		return []*executor.Viz{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCandidateCacheLRU asserts the eviction policy: a hot entry that keeps
+// getting hits survives a burst of one-off keys that overflows capacity,
+// while the coldest entry is evicted.
+func TestCandidateCacheLRU(t *testing.T) {
+	c := newCandidateCache(3)
+	fill(t, c, "hot")
+	fill(t, c, "cold")
+	fill(t, c, "warm")
+	// Touch hot and warm so cold is the LRU entry.
+	fill(t, c, "hot")
+	fill(t, c, "warm")
+	// A burst of one-off keys, with the hot key re-touched between them.
+	for i := 0; i < 5; i++ {
+		fill(t, c, fmt.Sprintf("one-off-%d", i))
+		fill(t, c, "hot")
+	}
+	hitsBefore, _ := c.stats()
+	fill(t, c, "hot")
+	hitsAfter, _ := c.stats()
+	if hitsAfter != hitsBefore+1 {
+		t.Fatalf("hot key was evicted despite constant hits (hits %d -> %d)", hitsBefore, hitsAfter)
+	}
+	_, missesBefore := c.stats()
+	fill(t, c, "cold")
+	_, missesAfter := c.stats()
+	if missesAfter != missesBefore+1 {
+		t.Fatal("cold key should have been evicted by the one-off burst")
+	}
+	if len(c.entries) > 3 || c.order.Len() != len(c.entries) {
+		t.Fatalf("bookkeeping drift: %d entries, %d list nodes", len(c.entries), c.order.Len())
+	}
+}
+
+// TestCandidateCacheInvalidateDataset asserts per-dataset invalidation
+// removes entries from both the map and the recency list.
+func TestCandidateCacheInvalidateDataset(t *testing.T) {
+	c := newCandidateCache(8)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("a-%d", i)
+		if _, _, err := c.fetch("a", key, func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.fetch("b", "b-0", func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.invalidateDataset("a")
+	if len(c.entries) != 1 || c.order.Len() != 1 {
+		t.Fatalf("after invalidate: %d entries, %d list nodes, want 1", len(c.entries), c.order.Len())
+	}
+	if _, ok := c.entries["b-0"]; !ok {
+		t.Fatal("other dataset's entry must survive")
+	}
+}

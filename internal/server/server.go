@@ -32,8 +32,11 @@ import (
 
 // Server hosts datasets and serves shape queries. Safe for concurrent use.
 type Server struct {
-	mu       sync.RWMutex
-	tables   map[string]*dataset.Table
+	mu sync.RWMutex
+	// indexes holds one columnar dataset.Index per registered dataset;
+	// Register builds it once at upload so every search extracts through
+	// dictionary-encoded grouping and vectorized filters.
+	indexes  map[string]*dataset.Index
 	versions map[string]uint64
 	nl       *nlparser.Parser
 	mux      *http.ServeMux
@@ -46,7 +49,7 @@ type Server struct {
 // New returns a server with no datasets registered.
 func New() *Server {
 	s := &Server{
-		tables:   make(map[string]*dataset.Table),
+		indexes:  make(map[string]*dataset.Index),
 		versions: make(map[string]uint64),
 		nl:       nlparser.NewParser(),
 		cache:    newCandidateCache(defaultCacheCapacity),
@@ -61,12 +64,15 @@ func New() *Server {
 	return s
 }
 
-// Register adds (or replaces) a named dataset. Replacing a dataset bumps
-// its version, invalidating every cached candidate set built from the old
-// data.
+// Register adds (or replaces) a named dataset. The columnar index is built
+// here, once per upload — before the version bump publishes the dataset —
+// so no search ever pays the dictionary-encoding cost. Replacing a dataset
+// bumps its version, invalidating every cached candidate set built from
+// the old data.
 func (s *Server) Register(name string, t *dataset.Table) {
+	ix := dataset.BuildIndex(t)
 	s.mu.Lock()
-	s.tables[name] = t
+	s.indexes[name] = ix
 	s.versions[name]++
 	s.mu.Unlock()
 	s.cache.invalidateDataset(name)
@@ -118,8 +124,9 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	infos := make([]datasetInfo, 0, len(s.tables))
-	for name, t := range s.tables {
+	infos := make([]datasetInfo, 0, len(s.indexes))
+	for name, ix := range s.indexes {
+		t := ix.Table()
 		infos = append(infos, datasetInfo{Name: name, Rows: t.NumRows(), Columns: t.ColumnNames()})
 	}
 	s.mu.RUnlock()
@@ -296,7 +303,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	tbl, ok := s.tables[req.Dataset]
+	ix, ok := s.indexes[req.Dataset]
 	version := s.versions[req.Dataset]
 	s.mu.RUnlock()
 	if !ok {
@@ -337,7 +344,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// cold misses coalesce into one extraction.
 	key := cacheKey(req.Dataset, version, plan.CandidateKey(spec))
 	vizs, hit, err := s.cache.fetch(req.Dataset, key, func() ([]*executor.Viz, error) {
-		series, err := dataset.Extract(tbl, plan.EffectiveSpec(spec))
+		series, err := ix.Extract(plan.EffectiveSpec(spec))
 		if err != nil {
 			return nil, err
 		}

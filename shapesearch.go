@@ -57,6 +57,15 @@ type (
 type (
 	// Table is an in-memory columnar dataset.
 	Table = dataset.Table
+	// Index is the columnar acceleration layer over a Table:
+	// dictionary-encoded grouping keys and memoized (z, x) sort
+	// permutations make repeated extraction a single pass over presorted
+	// runs with vectorized filters. Build one per long-lived table (see
+	// BuildIndex) and pass it wherever a Source is accepted.
+	Index = dataset.Index
+	// Source is a queryable data source for EXTRACT: either a bare *Table
+	// (row-at-a-time compatibility path) or an *Index (columnar path).
+	Source = dataset.Source
 	// Column is one typed column of a Table.
 	Column = dataset.Column
 	// Series is one candidate trendline.
@@ -194,6 +203,12 @@ func ReadJSON(r io.Reader) (*Table, error) { return dataset.FromJSON(r) }
 // NewTable builds a dataset from columns.
 func NewTable(cols ...Column) (*Table, error) { return dataset.New(cols...) }
 
+// BuildIndex builds the columnar index for a table: string grouping
+// columns are dictionary-encoded up front; (z, x) sort permutations are
+// built lazily on first extraction and memoized. Index tables that serve
+// repeated queries; one-shot extractions can stay on the bare *Table.
+func BuildIndex(t *Table) *Index { return dataset.BuildIndex(t) }
+
 // Extract selects candidate trendlines from a table.
 func Extract(t *Table, spec ExtractSpec) ([]Series, error) { return dataset.Extract(t, spec) }
 
@@ -242,11 +257,12 @@ func DefaultSketchConfig() SketchConfig { return sketch.DefaultConfig() }
 func Compile(q Query, opts Options) (*Plan, error) { return executor.Compile(q, opts) }
 
 // Search extracts candidate visualizations and ranks them against the
-// query — the full EXTRACT → GROUP → SEGMENT → SCORE pipeline. It is a
-// thin wrapper over Compile + Plan.Search; issue repeated queries through
-// a compiled Plan instead.
-func Search(t *Table, spec ExtractSpec, q Query, opts Options) ([]Result, error) {
-	return executor.Search(t, spec, q, opts)
+// query — the full EXTRACT → GROUP → SEGMENT → SCORE pipeline. The source
+// is a bare *Table or an *Index. It is a thin wrapper over Compile +
+// Plan.Search; issue repeated queries through a compiled Plan (and an
+// Index) instead.
+func Search(src Source, spec ExtractSpec, q Query, opts Options) ([]Result, error) {
+	return executor.Search(src, spec, q, opts)
 }
 
 // SearchSeries ranks pre-extracted trendlines against the query (a thin
