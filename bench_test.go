@@ -46,6 +46,7 @@ func benchOpts(alg executor.Algorithm, pruning bool) executor.Options {
 func runSearch(b *testing.B, series []dataset.Series, query string, opts executor.Options) {
 	b.Helper()
 	q := regexlang.MustParse(query)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := executor.SearchSeries(series, q, opts); err != nil {
@@ -90,6 +91,7 @@ func BenchmarkFig11_Pushdown(b *testing.B) {
 		b.Run(pd.name, func(b *testing.B) {
 			opts := benchOpts(executor.AlgAuto, false)
 			opts.Pushdown = pd.on
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := executor.Search(ds.Table, ds.Spec, q, opts); err != nil {
@@ -105,6 +107,7 @@ func BenchmarkFig11_Pushdown(b *testing.B) {
 func BenchmarkFig12_Accuracy(b *testing.B) {
 	series := benchSeries(b, gen.Weather(), 8)
 	q := regexlang.MustParse("(f ⊗ u ⊗ d ⊗ f)")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opts := benchOpts(executor.AlgDP, false)
 		opts.K = 20
@@ -195,6 +198,7 @@ func BenchmarkTable11_QueryVerification(b *testing.B) {
 	q := regexlang.MustParse(ds.FuzzyQueries[0])
 	opts := benchOpts(executor.AlgSegmentTree, false)
 	opts.K = len(series)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := executor.SearchSeries(series, q, opts)
@@ -328,6 +332,7 @@ func BenchmarkPlanReuse(b *testing.B) {
 	q := regexlang.MustParse("u ; d ; u")
 	opts := benchOpts(executor.AlgSegmentTree, false)
 	b.Run("Recompile", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := executor.SearchSeries(series, q, opts); err != nil {
 				b.Fatal(err)
@@ -339,6 +344,7 @@ func BenchmarkPlanReuse(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := plan.Run(series); err != nil {
@@ -352,6 +358,7 @@ func BenchmarkPlanReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 		vizs := plan.GroupSeries(series)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := plan.RunGrouped(vizs); err != nil {

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"shapesearch"
 	"shapesearch/internal/gen"
@@ -96,9 +99,14 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 	if err != nil {
 		return err
 	}
+	// Ctrl-C cancels the scoring pipeline cooperatively: workers stop
+	// pulling candidates and the search returns context.Canceled instead
+	// of leaving a long query running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// Search through the columnar index — the same path the server serves
 	// from, so CLI results and timings match served queries.
-	results, err := plan.Search(shapesearch.BuildIndex(tbl), spec)
+	results, err := plan.SearchContext(ctx, shapesearch.BuildIndex(tbl), spec)
 	if err != nil {
 		return err
 	}

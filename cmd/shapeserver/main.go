@@ -39,6 +39,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	noDemo := flag.Bool("nodemo", false, "skip registering the built-in demo datasets")
 	noCache := flag.Bool("nocache", false, "disable the server-side candidate cache")
+	searchTimeout := flag.Duration("search-timeout", 0,
+		"per-request scoring deadline (e.g. 5s; 0 = unbounded); expired searches return 503 and free their workers")
 	var loads loadFlags
 	flag.Var(&loads, "load", "register a CSV dataset as name=path (repeatable)")
 	flag.Parse()
@@ -47,6 +49,10 @@ func main() {
 	if *noCache {
 		srv.DisableCache()
 		log.Printf("candidate cache disabled")
+	}
+	if *searchTimeout > 0 {
+		srv.SetSearchTimeout(*searchTimeout)
+		log.Printf("per-request search timeout: %v", *searchTimeout)
 	}
 	if !*noDemo {
 		srv.Register("stocks", gen.Stocks(60, 150, 1))

@@ -1,0 +1,143 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"shapesearch/internal/dataset"
+	"shapesearch/internal/regexlang"
+)
+
+// allocSeries builds a deterministic candidate collection big enough that
+// per-candidate allocations dominate any per-run fixed cost.
+func allocSeries(n, points int) []dataset.Series {
+	rng := rand.New(rand.NewSource(7))
+	series := make([]dataset.Series, n)
+	for i := range series {
+		s := randomSeries(rng, points)
+		s.Z = fmt.Sprintf("s%03d", i)
+		series[i] = s
+	}
+	return series
+}
+
+// TestSteadyStateAllocs pins the scoring kernel's allocation budget:
+// steady-state Plan.RunGrouped must not allocate per candidate beyond the
+// few escaping result slices (the winning range assignment and BreakXs) —
+// everything else lives in the pooled per-worker evalCtx. Before the
+// pooled kernel the SegmentTree path allocated ~400 heap objects per
+// candidate; the budget below would fail by an order of magnitude if
+// per-candidate garbage crept back in.
+func TestSteadyStateAllocs(t *testing.T) {
+	const (
+		nSeries = 16
+		points  = 120
+		// Per run: slots/heap/result bookkeeping plus ~3 escaping slices
+		// per candidate. 10 × nSeries is an order of magnitude below the
+		// pre-pooling kernel's budget.
+		budget = 10 * nSeries
+	)
+	series := allocSeries(nSeries, points)
+	for _, alg := range []struct {
+		name string
+		a    Algorithm
+	}{{"DP", AlgDP}, {"SegmentTree", AlgSegmentTree}} {
+		t.Run(alg.name, func(t *testing.T) {
+			opts := seqOpts()
+			opts.Algorithm = alg.a
+			plan, err := Compile(regexlang.MustParse("u ; d ; u"), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vizs := plan.GroupSeries(series)
+			if len(vizs) != nSeries {
+				t.Fatalf("grouped %d vizs, want %d", len(vizs), nSeries)
+			}
+			// Warm the context pool and the per-viz memos.
+			if _, err := plan.RunGrouped(vizs); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				if _, err := plan.RunGrouped(vizs); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > budget {
+				t.Errorf("steady-state RunGrouped allocates %.0f objects per run, budget %d", avg, budget)
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocsQuantifier covers the quantifier hot path (pair
+// scores, run detection, run scoring), which allocated per evaluated range
+// before the pooled kernel.
+func TestSteadyStateAllocsQuantifier(t *testing.T) {
+	series := allocSeries(8, 100)
+	opts := seqOpts()
+	opts.Algorithm = AlgSegmentTree
+	plan, err := Compile(regexlang.MustParse("[p=up, m={2,}]"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vizs := plan.GroupSeries(series)
+	if _, err := plan.RunGrouped(vizs); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := plan.RunGrouped(vizs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The quantifier itself still sorts occurrence scores (one interface
+	// allocation per positive evaluation); the budget tolerates that while
+	// forbidding the old per-range pair/run slice churn.
+	if budget := 60.0 * float64(len(series)); avg > budget {
+		t.Errorf("quantifier RunGrouped allocates %.0f objects per run, budget %.0f", avg, budget)
+	}
+}
+
+// TestPooledKernelMatchesFreshContexts: reusing one evalCtx across many
+// candidates must give byte-identical scores and ranges to compiling each
+// chain in a fresh context (the pre-pooling behavior preserved by
+// compileChain).
+func TestPooledKernelMatchesFreshContexts(t *testing.T) {
+	series := allocSeries(12, 90)
+	for _, q := range []string{"u ; d ; u", "[p=up, m={2,}]", "u ; [p=down, x.s=20, x.e=60] ; u"} {
+		for _, alg := range []Algorithm{AlgDP, AlgSegmentTree, AlgGreedy} {
+			opts := seqOpts()
+			opts.Algorithm = alg
+			plan, err := Compile(regexlang.MustParse(q), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vizs := plan.GroupSeries(series)
+			// Pooled path: one worker context reused across all candidates,
+			// exactly like a pipeline worker. Fresh path: a new context per
+			// candidate, so no buffer ever carries state across candidates.
+			reused := newEvalCtx()
+			for vi, v := range vizs {
+				pooledSc, pooledRanges, err := evalViz(reused, v, plan.norm, plan.opts, plan.solver)
+				if err != nil {
+					t.Fatal(err)
+				}
+				freshSc, freshRanges, err := evalViz(newEvalCtx(), v, plan.norm, plan.opts, plan.solver)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pooledSc != freshSc {
+					t.Fatalf("%s/%v viz %d: pooled score %v != fresh score %v", q, alg, vi, pooledSc, freshSc)
+				}
+				if len(pooledRanges) != len(freshRanges) {
+					t.Fatalf("%s/%v viz %d: range count differs", q, alg, vi)
+				}
+				for i := range pooledRanges {
+					if pooledRanges[i] != freshRanges[i] {
+						t.Fatalf("%s/%v viz %d: range %d %v != %v", q, alg, vi, i, pooledRanges[i], freshRanges[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -31,6 +31,17 @@ func infeasibleRun(t1, t2, lo int) runResult {
 	return r
 }
 
+// infeasibleRunCtx is infeasibleRun writing into the context's shared
+// ranges out-buffer (solveChain copies it before the next solver call).
+func infeasibleRunCtx(ctx *evalCtx, t1, t2, lo int) runResult {
+	k := t2 - t1 + 1
+	ranges := growRanges(&ctx.rangesOut, k)
+	for i := range ranges {
+		ranges[i] = [2]int{lo, lo} // invalid on purpose: scores −1
+	}
+	return runResult{score: float64(k) * score.WorstScore, ranges: ranges}
+}
+
 // runSolver segments units [t1, t2] of the chain over inclusive point
 // window [lo, hi].
 type runSolver func(ce *chainEval, t1, t2, lo, hi int) runResult
@@ -44,7 +55,9 @@ type runSolver func(ce *chainEval, t1, t2, lo, hi int) runResult
 func solveChain(ce *chainEval, solve runSolver) segResult {
 	n := ce.viz.N()
 	k := len(ce.units)
-	ranges := make([][2]int, k)
+	// The assignment lives in context scratch; callers that keep it past
+	// the next solveChain on this context (evalViz) copy the winner out.
+	ranges := growRanges(&ce.ctx.chainRanges, k)
 
 	// Push-down (b): eagerly test pinned up/down units first and bail out
 	// before any fuzzy segmentation work if one fails (Section 5.4).
@@ -90,7 +103,7 @@ func solveChain(ce *chainEval, solve runSolver) segResult {
 			}
 		}
 		if hi-lo < t2-t+1 {
-			res := infeasibleRun(t, t2, lo)
+			res := infeasibleRunCtx(ce.ctx, t, t2, lo)
 			copy(ranges[t:], res.ranges)
 		} else {
 			res := solve(ce, t, t2, lo, hi)
@@ -136,15 +149,18 @@ func minSpan(ce *chainEval, k, lo, hi int) int {
 // candidates builds the break-point candidate list over [lo, hi] with the
 // given stride, always including both endpoints.
 func candidates(lo, hi, stride int) []int {
+	return appendCandidates(make([]int, 0, (hi-lo)/max(stride, 1)+2), lo, hi, stride)
+}
+
+// appendCandidates is candidates into a reusable buffer.
+func appendCandidates(out []int, lo, hi, stride int) []int {
 	if stride < 1 {
 		stride = 1
 	}
-	out := make([]int, 0, (hi-lo)/stride+2)
 	for c := lo; c < hi; c += stride {
 		out = append(out, c)
 	}
-	out = append(out, hi)
-	return out
+	return append(out, hi)
 }
 
 // dpRun is the optimal dynamic-programming segmenter of Section 6.1
@@ -158,54 +174,56 @@ func dpRun(ce *chainEval, t1, t2, lo, hi int) runResult {
 }
 
 func dpRunStride(ce *chainEval, t1, t2, lo, hi, stride int) runResult {
-	cands := candidates(lo, hi, stride)
+	ctx := ce.ctx
+	ctx.dpCands = appendCandidates(ctx.dpCands[:0], lo, hi, stride)
+	cands := ctx.dpCands
 	m := len(cands)
 	k := t2 - t1 + 1
 	if m < 2 {
-		return infeasibleRun(t1, t2, lo)
+		return infeasibleRunCtx(ctx, t1, t2, lo)
 	}
 	const neg = math.MaxFloat64
-	// best[t][p]: max weighted sum placing units t1..t1+t-1 with the t-th
-	// boundary at cands[p]. from[t][p] reconstructs the previous boundary.
-	best := make([][]float64, k+1)
-	from := make([][]int, k+1)
-	for t := range best {
-		best[t] = make([]float64, m)
-		from[t] = make([]int, m)
-		for p := range best[t] {
-			best[t][p] = -neg
-			from[t][p] = -1
-		}
+	// best[t*m+p]: max weighted sum placing units t1..t1+t-1 with the t-th
+	// boundary at cands[p]. from[t*m+p] reconstructs the previous boundary.
+	// Both tables are flat context scratch, resized not reallocated.
+	size := (k + 1) * m
+	best := growFloats(&ctx.dpBest, size)
+	from := growInts(&ctx.dpFrom, size)
+	for i := 0; i < size; i++ {
+		best[i] = -neg
+		from[i] = -1
 	}
 	span := minSpan(ce, k, lo, hi)
-	best[0][0] = 0
+	best[0] = 0 // best[0][0]
 	for t := 1; t <= k; t++ {
 		w := ce.chain.Units[t1+t-1].Weight
+		row, prev := best[t*m:(t+1)*m], best[(t-1)*m:t*m]
+		fr := from[t*m : (t+1)*m]
 		for p := t; p < m; p++ {
 			b := -neg
 			arg := -1
 			for q := t - 1; q < p; q++ {
-				if best[t-1][q] == -neg || cands[p]-cands[q] < span {
+				if prev[q] == -neg || cands[p]-cands[q] < span {
 					continue
 				}
-				s := best[t-1][q] + w*ce.unitScore(t1+t-1, cands[q], cands[p])
+				s := prev[q] + w*ce.unitScore(t1+t-1, cands[q], cands[p])
 				if s > b {
 					b, arg = s, q
 				}
 			}
-			best[t][p] = b
-			from[t][p] = arg
+			row[p] = b
+			fr[p] = arg
 		}
 	}
-	if best[k][m-1] == -neg {
-		return infeasibleRun(t1, t2, lo)
+	if best[k*m+m-1] == -neg {
+		return infeasibleRunCtx(ctx, t1, t2, lo)
 	}
-	ranges := make([][2]int, k)
+	ranges := growRanges(&ctx.rangesOut, k)
 	p := m - 1
 	for t := k; t >= 1; t-- {
-		q := from[t][p]
+		q := from[t*m+p]
 		ranges[t-1] = [2]int{cands[q], cands[p]}
 		p = q
 	}
-	return runResult{score: best[k][m-1], ranges: ranges}
+	return runResult{score: best[k*m+m-1], ranges: ranges}
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"shapesearch/internal/score"
-	"shapesearch/internal/segstat"
 	"shapesearch/internal/shape"
 )
 
@@ -14,6 +13,10 @@ import (
 // exhaustive) decide which point range each unit covers; chainEval scores a
 // unit over a range, and combines unit scores into the chain score.
 type chainEval struct {
+	// ctx owns every scratch buffer the evaluation reuses; non-nil for any
+	// chainEval built through compile/compileChain. (Throwaway chainEvals
+	// built for levelSlopes leave it nil — that path needs no scratch.)
+	ctx   *evalCtx
 	viz   *Viz
 	chain shape.Chain
 	units []compiledUnit
@@ -47,27 +50,30 @@ type compiledUnit struct {
 
 func (u *compiledUnit) pinned() bool { return u.pinStart >= 0 && u.pinEnd >= 0 }
 
-// compileChain prepares a chain for evaluation against a visualization.
+// compileChain prepares a chain for evaluation against a visualization in a
+// fresh evaluation context. The pipeline workers call (*evalCtx).compile
+// instead, which reuses one context's buffers across candidates.
 func compileChain(v *Viz, chain shape.Chain, opts *Options) (*chainEval, error) {
-	ce := &chainEval{viz: v, chain: chain, opts: opts}
+	return newEvalCtx().compile(v, chain, opts)
+}
+
+// compile prepares a chain for evaluation against a visualization, reusing
+// the context's chainEval and unit buffer. Viz-derived quantities (y range,
+// amplitude unit, skipped-point prefix) come memoized from the Viz, and for
+// options that went through executor.Compile the per-unit validation walk
+// is skipped entirely — UDP resolution, nested sub-query normalization, and
+// iterator/sketch hoisting already happened once at plan compile time.
+func (ec *evalCtx) compile(v *Viz, chain shape.Chain, opts *Options) (*chainEval, error) {
+	ce := &ec.ce
+	*ce = chainEval{ctx: ec, viz: v, chain: chain, opts: opts}
 	n := v.N()
-	if v.Skipped != nil {
-		ce.skippedPrefix = make([]int, n+1)
-		for i, s := range v.Skipped {
-			ce.skippedPrefix[i+1] = ce.skippedPrefix[i]
-			if s {
-				ce.skippedPrefix[i+1]++
-			}
-		}
-	}
+	ce.skippedPrefix = v.skipPrefix()
 	span := v.Series.X[n-1] - v.Series.X[0]
 	ce.tolX = 1.5 * span / float64(n-1)
 	lo, hi := v.yRange()
 	ce.tolY = 0.1*(hi-lo) + 1e-9
-	ce.ampUnit = segstat.Std(v.NY)
-	if ce.ampUnit == 0 {
-		ce.ampUnit = 1
-	}
+	ce.ampUnit = v.ampUnit()
+	ec.units = ec.units[:0]
 	for _, u := range chain.Units {
 		cu := compiledUnit{pinStart: -1, pinEnd: -1}
 		cu.unit = u
@@ -88,42 +94,50 @@ func compileChain(v *Viz, chain shape.Chain, opts *Options) (*chainEval, error) 
 		if cu.pinStart >= 0 && cu.pinEnd >= 0 && cu.pinEnd <= cu.pinStart {
 			cu.pinErr = true
 		}
-		var compileErr error
-		u.Node.Walk(func(m *shape.Node) {
-			if compileErr != nil || m.Kind != shape.NodeSegment {
-				return
+		if !opts.compiled {
+			if err := validateUnit(&cu, u, opts); err != nil {
+				return nil, err
 			}
-			seg := m.Seg
-			if seg.Pat.Kind == shape.PatUDP {
-				if _, ok := opts.UDPs.Lookup(seg.Pat.Name); !ok {
-					compileErr = fmt.Errorf("executor: unknown user-defined pattern %q", seg.Pat.Name)
-				}
-			}
-			if seg.Pat.Kind == shape.PatNested {
-				norm, ok := opts.nestedPre[seg.Pat.Sub]
-				if !ok {
-					// Not pre-compiled (direct chainEval construction in
-					// tests, or dynamically built sub-queries): normalize
-					// here, once per chain.
-					var err error
-					norm, err = shape.Normalize(shape.Query{Root: seg.Pat.Sub})
-					if err != nil {
-						compileErr = err
-						return
-					}
-				}
-				if cu.nested == nil {
-					cu.nested = make(map[*shape.Node]shape.Normalized)
-				}
-				cu.nested[seg.Pat.Sub] = norm
-			}
-		})
-		if compileErr != nil {
-			return nil, compileErr
 		}
-		ce.units = append(ce.units, cu)
+		ec.units = append(ec.units, cu)
 	}
+	ce.units = ec.units
 	return ce, nil
+}
+
+// validateUnit is the per-unit walk for chains compiled outside a Plan
+// (direct compileChain construction in tests, dynamically built queries):
+// UDP references are resolved and nested sub-queries normalized, once per
+// chain. Plan-compiled options skip this — Compile did it once for all.
+func validateUnit(cu *compiledUnit, u shape.Unit, opts *Options) error {
+	var compileErr error
+	u.Node.Walk(func(m *shape.Node) {
+		if compileErr != nil || m.Kind != shape.NodeSegment {
+			return
+		}
+		seg := m.Seg
+		if seg.Pat.Kind == shape.PatUDP {
+			if _, ok := opts.UDPs.Lookup(seg.Pat.Name); !ok {
+				compileErr = fmt.Errorf("executor: unknown user-defined pattern %q", seg.Pat.Name)
+			}
+		}
+		if seg.Pat.Kind == shape.PatNested {
+			norm, ok := opts.nestedPre[seg.Pat.Sub]
+			if !ok {
+				var err error
+				norm, err = shape.Normalize(shape.Query{Root: seg.Pat.Sub})
+				if err != nil {
+					compileErr = err
+					return
+				}
+			}
+			if cu.nested == nil {
+				cu.nested = make(map[*shape.Node]shape.Normalized)
+			}
+			cu.nested[seg.Pat.Sub] = norm
+		}
+	})
+	return compileErr
 }
 
 // anySkipped reports whether inclusive point range [i, j] touches a point
@@ -222,9 +236,17 @@ func (ce *chainEval) evalSegment(cu *compiledUnit, n *shape.Node, t, i, j int) f
 		consider(ce.evalPattern(cu, n, t, i, j))
 	}
 	if len(seg.Sketch) > 0 {
-		qy := make([]float64, len(seg.Sketch))
-		for k, pt := range seg.Sketch {
-			qy[k] = pt.Y
+		// The query-y values are query-static; Compile hoists them per
+		// segment node. Nodes it has not seen (copied or dynamically built
+		// segments) fill a context scratch buffer instead.
+		qy := ce.opts.sketchQY[n]
+		if qy == nil {
+			buf := ce.ctx.qyBuf[:0]
+			for _, pt := range seg.Sketch {
+				buf = append(buf, pt.Y)
+			}
+			ce.ctx.qyBuf = buf
+			qy = buf
 		}
 		consider(ce.opts.SketchConfig.SketchL2(qy, v.Series.Y[i:j+1]))
 	}
@@ -258,9 +280,14 @@ func (ce *chainEval) evalIterator(cu *compiledUnit, n *shape.Node, t, i, j int) 
 	seg := n.Seg
 	v := ce.viz
 	w := seg.Loc.XE.IterOffset
-	inner := *seg
-	inner.Loc = shape.Location{YS: seg.Loc.YS, YE: seg.Loc.YE}
-	innerNode := &shape.Node{Kind: shape.NodeSegment, Seg: &inner}
+	// Compile hoists the iterator's inner segment node (LOCATION reduced to
+	// the y pins) once per plan; nodes it has not seen build it here.
+	innerNode := ce.opts.iterInner[n]
+	if innerNode == nil {
+		inner := *seg
+		inner.Loc = shape.Location{YS: seg.Loc.YS, YE: seg.Loc.YE}
+		innerNode = &shape.Node{Kind: shape.NodeSegment, Seg: &inner}
+	}
 	best := score.WorstScore
 	for s := i; s < j; s++ {
 		endX := v.Series.X[s] + w
@@ -326,6 +353,10 @@ func (ce *chainEval) evalPattern(cu *compiledUnit, n *shape.Node, t, i, j int) f
 	case shape.PatNested:
 		norm, ok := cu.nested[seg.Pat.Sub]
 		if !ok {
+			// Plan-compiled sub-queries were normalized once at Compile.
+			norm, ok = ce.opts.nestedPre[seg.Pat.Sub]
+		}
+		if !ok {
 			// Nested sub-queries reached through copied segments (e.g.
 			// built by UDFs at evaluation time) normalize lazily.
 			lazy, err := shape.Normalize(shape.Query{Root: seg.Pat.Sub})
@@ -364,7 +395,8 @@ func (ce *chainEval) resolveRef(r shape.PosRef, t int) int {
 // count as occurrences — a two-point noise wiggle is not a "rise".
 func (ce *chainEval) evalQuantifier(seg *shape.Segment, i, j int) float64 {
 	v := ce.viz
-	pairScores := make([]float64, j-i)
+	ctx := ce.ctx
+	pairScores := growFloats(&ctx.pairScores, j-i)
 	for k := i; k < j; k++ {
 		slope, ok := v.rangeSlope(k, k+1)
 		if !ok {
@@ -378,7 +410,8 @@ func (ce *chainEval) evalQuantifier(seg *shape.Segment, i, j int) float64 {
 	if minRun < 1 {
 		minRun = 1
 	}
-	runs := score.PositiveRuns(pairScores, threshold)
+	ctx.runsBuf = score.PositiveRunsInto(ctx.runsBuf[:0], pairScores, threshold)
+	runs := ctx.runsBuf
 	// Directional occurrences must also move perceptibly: a run that rises
 	// by a small fraction of the chart's y spread is noise, not a "rise",
 	// no matter how steep its fit.
@@ -386,7 +419,7 @@ func (ce *chainEval) evalQuantifier(seg *shape.Segment, i, j int) float64 {
 	if seg.Pat.Kind == shape.PatUp || seg.Pat.Kind == shape.PatDown {
 		minAmp = 0.25 * ce.ampUnit
 	}
-	runScores := make([]float64, 0, len(runs))
+	runScores := ctx.runScores[:0]
 	for _, run := range runs {
 		if run[1]-run[0] < minRun {
 			continue
@@ -401,6 +434,7 @@ func (ce *chainEval) evalQuantifier(seg *shape.Segment, i, j int) float64 {
 		}
 		runScores = append(runScores, score.ForKind(seg.Pat.Kind, slope, seg.Pat.Slope))
 	}
+	ctx.runScores = runScores
 	return score.Quantifier(seg.Mod, runScores, threshold)
 }
 
@@ -408,9 +442,12 @@ func (ce *chainEval) evalQuantifier(seg *shape.Segment, i, j int) float64 {
 // the range with a coarse dynamic program per alternative and returning the
 // best alternative's score.
 func (ce *chainEval) evalNested(norm shape.Normalized, i, j int) float64 {
+	// A child context keeps the sub-query's DP scratch off the outer
+	// solver's buffers (the outer DP/tree run is mid-flight on ce.ctx).
+	child := ce.ctx.childCtx()
 	best := score.WorstScore
 	for _, alt := range norm.Alternatives {
-		sub, err := compileChain(ce.viz, alt, ce.opts)
+		sub, err := child.compile(ce.viz, alt, ce.opts)
 		if err != nil {
 			continue
 		}
@@ -433,7 +470,7 @@ func (ce *chainEval) evalNested(norm shape.Normalized, i, j int) float64 {
 // unit slopes are fitted first, then every unit is re-scored with
 // references bound (Design decision 4 in DESIGN.md).
 func (ce *chainEval) scoreRanges(ranges [][2]int) float64 {
-	slopes := make([]float64, len(ce.units))
+	slopes := growFloats(&ce.ctx.slopes, len(ce.units))
 	for t := range ce.units {
 		r := ranges[t]
 		if r[1] <= r[0] {

@@ -1,0 +1,232 @@
+package executor
+
+import "sync"
+
+// evalCtx is the per-worker, reusable evaluation state of the scoring
+// kernel. Every buffer the SEGMENT → SCORE inner loop used to allocate per
+// candidate — the chainEval and its compiled units, the DP's best/from
+// tables and candidate grid, the SegmentTree's node/entry/break arenas, and
+// the quantifier/sketch scratch — lives here and is resized, never
+// reallocated, so steady-state scoring performs near-zero heap allocations
+// (pinned by TestSteadyStateAllocs).
+//
+// An evalCtx is owned by exactly one pipeline worker at a time (Plan keeps
+// a sync.Pool of them across runs) and is not safe for concurrent use.
+// Nested sub-query evaluation borrows a child context so the outer solver's
+// scratch is never clobbered mid-run.
+type evalCtx struct {
+	// ce is the single chainEval reused across (viz, alternative) pairs.
+	ce chainEval
+	// units backs ce.units, truncated and refilled per compile.
+	units []compiledUnit
+
+	// qyBuf holds sketch query-y values for segments not hoisted at plan
+	// compile time (dynamically built or copied nodes).
+	qyBuf []float64
+
+	// DP scratch (dpRunStride): flat (k+1)×m tables and the candidate grid.
+	dpCands []int
+	dpBest  []float64
+	dpFrom  []int
+
+	// rangesOut is the runResult out-buffer shared by the DP, the
+	// SegmentTree and infeasibleRunCtx; solveChain copies it before the
+	// next solver call.
+	rangesOut [][2]int
+	// chainRanges is solveChain's full-chain assignment; evalViz copies the
+	// winning alternative's ranges out of it.
+	chainRanges [][2]int
+	// slopes is scoreRanges' fitted-slope scratch.
+	slopes []float64
+
+	// Quantifier scratch: per-pair scores, detected runs, per-run scores.
+	pairScores []float64
+	runsBuf    [][2]int
+	runScores  []float64
+
+	// SegmentTree arenas and level buffers (reset per treeRun).
+	treeNodes     nodeArena
+	treeEntries   entryArena
+	treeInts      intArena
+	treeSlabs     slabArena
+	treeCands     []int
+	treeLevel     []*treeNode
+	treeLevelNext []*treeNode
+	breaksBuf     []int
+
+	// child serves nested sub-query evaluation (one level per depth).
+	child *evalCtx
+}
+
+func newEvalCtx() *evalCtx { return &evalCtx{} }
+
+// childCtx returns the context nested sub-query evaluation runs in,
+// creating it on first use.
+func (ec *evalCtx) childCtx() *evalCtx {
+	if ec.child == nil {
+		ec.child = newEvalCtx()
+	}
+	return ec.child
+}
+
+// ctxPool recycles evaluation contexts across runs of one plan.
+var ctxPool = sync.Pool{New: func() any { return newEvalCtx() }}
+
+func getEvalCtx() *evalCtx { return ctxPool.Get().(*evalCtx) }
+
+func putEvalCtx(ec *evalCtx) {
+	// Drop the viz/options/query references so a pooled context does not
+	// pin a finished run's data; the scratch buffers are the whole point
+	// and stay.
+	for c := ec; c != nil; c = c.child {
+		c.ce = chainEval{}
+		for i := range c.units {
+			c.units[i] = compiledUnit{}
+		}
+		c.units = c.units[:0]
+	}
+	ctxPool.Put(ec)
+}
+
+// growFloats resizes *buf to n elements without shrinking its capacity.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growRanges(buf *[][2]int, n int) [][2]int {
+	if cap(*buf) < n {
+		*buf = make([][2]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// arenaPage is the element count of one arena page. Pages never move, so
+// pointers into them stay valid for the whole run; reset reuses the pages.
+const arenaPage = 1024
+
+// nodeArena hands out treeNodes with stable addresses.
+type nodeArena struct {
+	pages [][]treeNode
+	used  int
+}
+
+func (a *nodeArena) alloc() *treeNode {
+	page, off := a.used/arenaPage, a.used%arenaPage
+	if page == len(a.pages) {
+		a.pages = append(a.pages, make([]treeNode, arenaPage))
+	}
+	a.used++
+	n := &a.pages[page][off]
+	*n = treeNode{}
+	return n
+}
+
+func (a *nodeArena) reset() { a.used = 0 }
+
+// entryArena hands out treeEntries with stable addresses.
+type entryArena struct {
+	pages [][]treeEntry
+	used  int
+}
+
+func (a *entryArena) alloc() *treeEntry {
+	page, off := a.used/arenaPage, a.used%arenaPage
+	if page == len(a.pages) {
+		a.pages = append(a.pages, make([]treeEntry, arenaPage))
+	}
+	a.used++
+	e := &a.pages[page][off]
+	*e = treeEntry{}
+	return e
+}
+
+func (a *entryArena) reset() { a.used = 0 }
+
+// intArena bump-allocates small int slices (treeEntry breaks). A request
+// that does not fit the current page's remainder starts a new page; the
+// waste is bounded by the largest request.
+type intArena struct {
+	pages [][]int
+	page  int
+	used  int
+}
+
+func (a *intArena) alloc(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	size := arenaPage
+	if n > size {
+		size = n
+	}
+	for {
+		if a.page == len(a.pages) {
+			a.pages = append(a.pages, make([]int, size))
+		}
+		if a.used+n <= len(a.pages[a.page]) {
+			s := a.pages[a.page][a.used : a.used : a.used+n]
+			a.used += n
+			return s
+		}
+		a.page++
+		a.used = 0
+	}
+}
+
+func (a *intArena) reset() { a.page, a.used = 0, 0 }
+
+// slabArena bump-allocates the k×k entry-pointer slabs of treeNodes,
+// zeroing each slab on handout (arena reuse leaves stale pointers behind).
+type slabArena struct {
+	pages [][]*treeEntry
+	page  int
+	used  int
+}
+
+func (a *slabArena) alloc(n int) []*treeEntry {
+	if n == 0 {
+		return nil
+	}
+	size := arenaPage
+	if n > size {
+		size = n
+	}
+	for {
+		if a.page == len(a.pages) {
+			a.pages = append(a.pages, make([]*treeEntry, size))
+		}
+		if a.used+n <= len(a.pages[a.page]) {
+			s := a.pages[a.page][a.used : a.used+n]
+			a.used += n
+			for i := range s {
+				s[i] = nil
+			}
+			return s
+		}
+		a.page++
+		a.used = 0
+	}
+}
+
+func (a *slabArena) reset() { a.page, a.used = 0, 0 }
+
+// resetTree clears the SegmentTree arenas for the next treeRun.
+func (ec *evalCtx) resetTree() {
+	ec.treeNodes.reset()
+	ec.treeEntries.reset()
+	ec.treeInts.reset()
+	ec.treeSlabs.reset()
+}

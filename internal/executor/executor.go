@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -80,8 +81,8 @@ type Options struct {
 	// (effective with AlgSegmentTree / AlgAuto on fuzzy queries).
 	Pruning bool
 	// Parallelism is the number of worker goroutines scoring
-	// visualizations (default 0: auto, meaning GOMAXPROCS). The
-	// DTW/Euclidean baselines ignore it and scan sequentially.
+	// visualizations (default 0: auto, meaning GOMAXPROCS). All engines
+	// honor it, the DTW/Euclidean distance baselines included.
 	Parallelism int
 	// QuantifierThreshold overrides the zero score threshold above which a
 	// sub-segment counts as a pattern occurrence.
@@ -102,6 +103,18 @@ type Options struct {
 	// keyed by sub-query root. Read-only after Compile; chain compilation
 	// consults it before normalizing lazily.
 	nestedPre map[*shape.Node]shape.Normalized
+	// iterInner holds, per ITERATOR segment node, the pre-built inner
+	// segment node the sliding window evaluates (LOCATION reduced to the y
+	// pins) — hoisted out of the per-range hot path. Read-only after
+	// Compile.
+	iterInner map[*shape.Node]*shape.Node
+	// sketchQY holds, per sketch segment node, the query's y values —
+	// query-static, hoisted out of evalSegment. Read-only after Compile.
+	sketchQY map[*shape.Node][]float64
+	// compiled marks options that went through Compile: per-viz chain
+	// compilation skips the validation walk (UDP resolution and nested
+	// normalization already ran once, plan-wide).
+	compiled bool
 }
 
 // DefaultOptions returns the system defaults.
@@ -171,21 +184,33 @@ type Result struct {
 // callers issuing the same query repeatedly should compile once and reuse
 // the plan.
 func Search(src dataset.Source, spec dataset.ExtractSpec, q shape.Query, opts Options) ([]Result, error) {
+	return SearchContext(context.Background(), src, spec, q, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: the worker pool
+// checks ctx between candidates and the call returns ctx.Err() once every
+// worker has stopped.
+func SearchContext(ctx context.Context, src dataset.Source, spec dataset.ExtractSpec, q shape.Query, opts Options) ([]Result, error) {
 	p, err := Compile(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	return p.Search(src, spec)
+	return p.SearchContext(ctx, src, spec)
 }
 
 // SearchSeries ranks pre-extracted series against the query. It is a thin
 // compatibility wrapper over Compile + Plan.Run.
 func SearchSeries(series []dataset.Series, q shape.Query, opts Options) ([]Result, error) {
+	return SearchSeriesContext(context.Background(), series, q, opts)
+}
+
+// SearchSeriesContext is SearchSeries with cooperative cancellation.
+func SearchSeriesContext(ctx context.Context, series []dataset.Series, q shape.Query, opts Options) ([]Result, error) {
 	p, err := Compile(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(series)
+	return p.RunContext(ctx, series)
 }
 
 // solver picks the runSolver for the configured algorithm.
@@ -204,21 +229,23 @@ func (o *Options) solver(norm shape.Normalized) (runSolver, error) {
 	}
 }
 
-// evalViz scores one visualization: each alternative chain is segmented
-// independently and the best alternative wins (OR distributes over
-// per-alternative optimal segmentation).
-func evalViz(v *Viz, norm shape.Normalized, o *Options, solve runSolver) (float64, [][2]int, error) {
+// evalViz scores one visualization in the worker's evaluation context:
+// each alternative chain is segmented independently and the best
+// alternative wins (OR distributes over per-alternative optimal
+// segmentation). The winning assignment is copied out of the context's
+// scratch — it outlives the next candidate.
+func evalViz(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, solve runSolver) (float64, [][2]int, error) {
 	best := math.Inf(-1)
 	var bestRanges [][2]int
 	for _, alt := range norm.Alternatives {
-		ce, err := compileChain(v, alt, o)
+		ce, err := ec.compile(v, alt, o)
 		if err != nil {
 			return 0, nil, err
 		}
 		res := solveChain(ce, solve)
 		if res.score > best {
 			best = res.score
-			bestRanges = res.ranges
+			bestRanges = append(bestRanges[:0], res.ranges...)
 		}
 	}
 	return best, bestRanges, nil
@@ -227,6 +254,7 @@ func evalViz(v *Viz, norm shape.Normalized, o *Options, solve runSolver) (float6
 func makeResult(v *Viz, sc float64, ranges [][2]int) Result {
 	r := Result{Z: v.Series.Z, Score: sc, Ranges: ranges, Series: v.Series}
 	if len(ranges) > 0 {
+		r.BreakXs = make([]float64, 0, len(ranges)+1)
 		r.BreakXs = append(r.BreakXs, v.Series.X[ranges[0][0]])
 		for _, rg := range ranges {
 			r.BreakXs = append(r.BreakXs, v.Series.X[rg[1]])

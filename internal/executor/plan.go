@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -61,34 +62,64 @@ func Compile(q shape.Query, opts Options) (*Plan, error) {
 		}
 		p.prune = o.Pruning && (o.Algorithm == AlgAuto || o.Algorithm == AlgSegmentTree)
 	}
-	// Hoist nested sub-query normalization and UDP resolution out of the
-	// per-visualization chain compilation.
+	// Hoist everything query-static out of the per-visualization chain
+	// compilation and the per-range scoring hot path: nested sub-query
+	// normalization and UDP resolution (validated once, plan-wide), the
+	// ITERATOR's inner segment node, and sketch query-y extraction. The
+	// worklist covers nested sub-queries' own chains (and their nested
+	// sub-queries, transitively) so nested evaluation hits the same hoists.
 	pre := make(map[*shape.Node]shape.Normalized)
+	iterInner := make(map[*shape.Node]*shape.Node)
+	sketchQY := make(map[*shape.Node][]float64)
 	var compileErr error
-	for _, alt := range norm.Alternatives {
-		for _, u := range alt.Units {
-			u.Node.Walk(func(m *shape.Node) {
-				if compileErr != nil || m.Kind != shape.NodeSegment {
-					return
-				}
-				seg := m.Seg
-				if seg.Pat.Kind == shape.PatUDP {
-					if _, ok := o.UDPs.Lookup(seg.Pat.Name); !ok {
-						compileErr = fmt.Errorf("executor: unknown user-defined pattern %q", seg.Pat.Name)
-					}
-				}
-				if seg.Pat.Kind == shape.PatNested {
-					if _, done := pre[seg.Pat.Sub]; done {
+	work := []shape.Normalized{norm}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		for _, alt := range cur.Alternatives {
+			for _, u := range alt.Units {
+				u.Node.Walk(func(m *shape.Node) {
+					if compileErr != nil || m.Kind != shape.NodeSegment {
 						return
 					}
-					sub, err := shape.Normalize(shape.Query{Root: seg.Pat.Sub})
-					if err != nil {
-						compileErr = err
-						return
+					seg := m.Seg
+					if seg.Pat.Kind == shape.PatUDP {
+						if _, ok := o.UDPs.Lookup(seg.Pat.Name); !ok {
+							compileErr = fmt.Errorf("executor: unknown user-defined pattern %q", seg.Pat.Name)
+						}
 					}
-					pre[seg.Pat.Sub] = sub
-				}
-			})
+					if seg.Pat.Kind == shape.PatNested {
+						if _, done := pre[seg.Pat.Sub]; !done {
+							sub, err := shape.Normalize(shape.Query{Root: seg.Pat.Sub})
+							if err != nil {
+								compileErr = err
+								return
+							}
+							pre[seg.Pat.Sub] = sub
+							work = append(work, sub)
+						}
+					}
+					var qy []float64
+					if len(seg.Sketch) > 0 {
+						qy = make([]float64, len(seg.Sketch))
+						for k, pt := range seg.Sketch {
+							qy[k] = pt.Y
+						}
+						sketchQY[m] = qy
+					}
+					if seg.Loc.HasIterator() {
+						inner := *seg
+						inner.Loc = shape.Location{YS: seg.Loc.YS, YE: seg.Loc.YE}
+						innerNode := &shape.Node{Kind: shape.NodeSegment, Seg: &inner}
+						iterInner[m] = innerNode
+						if qy != nil {
+							// The inner segment shares the sketch; key the
+							// hoisted y values under its node too.
+							sketchQY[innerNode] = qy
+						}
+					}
+				})
+			}
 		}
 	}
 	if compileErr != nil {
@@ -97,6 +128,13 @@ func Compile(q shape.Query, opts Options) (*Plan, error) {
 	if len(pre) > 0 {
 		o.nestedPre = pre
 	}
+	if len(iterInner) > 0 {
+		o.iterInner = iterInner
+	}
+	if len(sketchQY) > 0 {
+		o.sketchQY = sketchQY
+	}
+	o.compiled = true
 	return p, nil
 }
 
@@ -184,27 +222,53 @@ func (p *Plan) GroupSeries(series []dataset.Series) []*Viz {
 // vectorized filters). Filter validation happens once, up front, inside the
 // source's Extract — never per row.
 func (p *Plan) Search(src dataset.Source, spec dataset.ExtractSpec) ([]Result, error) {
+	return p.SearchContext(context.Background(), src, spec)
+}
+
+// SearchContext is Search with cooperative cancellation: once ctx is done,
+// workers stop pulling candidates, the pool drains, and the call returns
+// ctx.Err(). Cancellation is checked between candidates (and between
+// stage-1 samples), so an abandoned request frees its workers within one
+// candidate's scoring time.
+func (p *Plan) SearchContext(ctx context.Context, src dataset.Source, spec dataset.ExtractSpec) ([]Result, error) {
+	// Extraction itself is not interruptible, but never start it for a
+	// request that is already dead — on large tables EXTRACT is the most
+	// expensive phase before scoring.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	series, err := src.Extract(p.EffectiveSpec(spec))
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(series)
+	return p.RunContext(ctx, series)
 }
 
 // Run ranks pre-extracted series against the compiled query.
 func (p *Plan) Run(series []dataset.Series) ([]Result, error) {
+	return p.RunContext(context.Background(), series)
+}
+
+// RunContext is Run with cooperative cancellation (see SearchContext).
+func (p *Plan) RunContext(ctx context.Context, series []dataset.Series) ([]Result, error) {
 	if p.opts.Pushdown && len(p.pinned) > 0 {
 		series = filterSeriesWithData(series, p.pinned)
 	}
 	gcfg := p.groupCfg(series)
-	return p.run(len(series), func(i int) *Viz { return group(series[i], gcfg) })
+	return p.run(ctx, len(series), func(i int) *Viz { return group(series[i], gcfg) })
 }
 
 // RunGrouped ranks pre-grouped candidate visualizations (from GroupSeries,
 // possibly served from a cache) against the compiled query, skipping the
 // EXTRACT and GROUP stages entirely.
 func (p *Plan) RunGrouped(vizs []*Viz) ([]Result, error) {
-	return p.run(len(vizs), func(i int) *Viz { return vizs[i] })
+	return p.RunGroupedContext(context.Background(), vizs)
+}
+
+// RunGroupedContext is RunGrouped with cooperative cancellation (see
+// SearchContext).
+func (p *Plan) RunGroupedContext(ctx context.Context, vizs []*Viz) ([]Result, error) {
+	return p.run(ctx, len(vizs), func(i int) *Viz { return vizs[i] })
 }
 
 // sharedTopK is the mutex-guarded heap every pipeline worker feeds; its
@@ -245,10 +309,13 @@ func (s *sharedTopK) floor() (float64, bool) {
 // its worker reaches it, so pruned runs at Parallelism > 1 may differ on
 // such candidates — the same class the sequential pruned scan already
 // mis-prunes deterministically.
-func (p *Plan) run(n int, viz func(int) *Viz) ([]Result, error) {
+func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, error) {
 	o := p.opts
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.distance {
-		return p.distanceRun(n, viz)
+		return p.distanceRun(ctx, n, viz)
 	}
 
 	workers := o.Parallelism
@@ -259,10 +326,26 @@ func (p *Plan) run(n int, viz func(int) *Viz) ([]Result, error) {
 		workers = 1
 	}
 
+	// Per-worker evaluation contexts: every buffer the scoring kernel
+	// needs, pooled across runs so steady-state scoring allocates nothing.
+	ecs := make([]*evalCtx, workers)
+	for i := range ecs {
+		ecs[i] = getEvalCtx()
+	}
+	defer func() {
+		for _, ec := range ecs {
+			putEvalCtx(ec)
+		}
+	}()
+
 	lb := math.Inf(-1)
 	if p.prune {
 		var sampled []*Viz
-		lb, sampled = p.sampleFloor(n, viz, workers)
+		var err error
+		lb, sampled, err = p.sampleFloor(ctx, n, viz, workers, ecs)
+		if err != nil {
+			return nil, err
+		}
 		// Stage 2 reuses the vizs stage 1 already grouped instead of
 		// running GROUP a second time over the sampled indices. The memo
 		// is write-free after this point, so workers read it lock-free.
@@ -296,7 +379,7 @@ func (p *Plan) run(n int, viz func(int) *Viz) ([]Result, error) {
 		abort.Store(true)
 	}
 
-	forEachIndex(workers, n, func(i int) {
+	ctxErr := forEachIndex(ctx, workers, n, func(worker, i int) {
 		if abort.Load() {
 			return
 		}
@@ -318,7 +401,7 @@ func (p *Plan) run(n int, viz func(int) *Viz) ([]Result, error) {
 				return
 			}
 		}
-		sc, ranges, err := evalViz(v, p.norm, o, p.solver)
+		sc, ranges, err := evalViz(ecs[worker], v, p.norm, o, p.solver)
 		if err != nil {
 			fail(err)
 			return
@@ -333,6 +416,9 @@ func (p *Plan) run(n int, viz func(int) *Viz) ([]Result, error) {
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 
 	heap := topk.New[Result](o.K)
@@ -354,7 +440,7 @@ func (p *Plan) run(n int, viz func(int) *Viz) ([]Result, error) {
 // slice holds the grouped viz of every sampled index (distinct indices,
 // written by distinct workers, read-only afterwards) so stage 2 need not
 // group them again.
-func (p *Plan) sampleFloor(n int, viz func(int) *Viz, workers int) (float64, []*Viz) {
+func (p *Plan) sampleFloor(ctx context.Context, n int, viz func(int) *Viz, workers int, ecs []*evalCtx) (float64, []*Viz, error) {
 	o := p.opts
 	grouped := make([]*Viz, n)
 	sample := o.SampleSize
@@ -368,7 +454,7 @@ func (p *Plan) sampleFloor(n int, viz func(int) *Viz, workers int) (float64, []*
 		sample = n
 	}
 	if sample <= 0 {
-		return math.Inf(-1), grouped
+		return math.Inf(-1), grouped, nil
 	}
 	step := n / sample
 	if step < 1 {
@@ -379,7 +465,7 @@ func (p *Plan) sampleFloor(n int, viz func(int) *Viz, workers int) (float64, []*
 		picks = append(picks, i)
 	}
 	stage1 := &sharedTopK{heap: topk.New[float64](o.K)}
-	score := func(i int) {
+	score := func(ec *evalCtx, i int) {
 		v := viz(i)
 		if v == nil {
 			return
@@ -389,70 +475,119 @@ func (p *Plan) sampleFloor(n int, viz func(int) *Viz, workers int) (float64, []*
 		if coarse < 1 {
 			coarse = 1
 		}
-		if sc, ok := coarseScore(v, p.norm, o, coarse); ok {
+		if sc, ok := coarseScore(ec, v, p.norm, o, coarse); ok {
 			stage1.add(sc)
 		}
 	}
-	forEachIndex(workers, len(picks), func(k int) { score(picks[k]) })
-	if f, ok := stage1.floor(); ok {
-		return f, grouped
+	err := forEachIndex(ctx, workers, len(picks), func(worker, k int) { score(ecs[worker], picks[k]) })
+	if err != nil {
+		return math.Inf(-1), grouped, err
 	}
-	return math.Inf(-1), grouped
+	if f, ok := stage1.floor(); ok {
+		return f, grouped, nil
+	}
+	return math.Inf(-1), grouped, nil
 }
 
 // forEachIndex runs fn over [0, n) on the given number of worker
 // goroutines (inline when one suffices), returning once all calls finish.
-func forEachIndex(workers, n int, fn func(int)) {
+// fn receives its worker's index (always < workers) so callers can hand
+// each worker private state. Cancellation is cooperative: once ctx is done
+// no further indices are dispatched, in-flight calls finish, and the
+// context's error is returned.
+func forEachIndex(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(0, i)
 		}
-		return
+		return ctx.Err()
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				if ctx.Err() != nil {
+					continue // drain the channel without scoring
+				}
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // distanceRun ranks visualizations by DTW or Euclidean distance to a
 // reference trendline synthesized from the query — the value-based matching
-// of visual query systems that Section 9 compares against. References are
-// memoized per (alternative, length), so the scan stays sequential.
-func (p *Plan) distanceRun(n int, viz func(int) *Viz) ([]Result, error) {
+// of visual query systems that Section 9 compares against. The scan runs on
+// the same worker pool as the segmentation engines; the per-(alternative,
+// length) reference memo is shared under a read-favoring lock, and the
+// top-k is rebuilt from per-index slots so the ranking is identical to the
+// sequential scan under any interleaving.
+func (p *Plan) distanceRun(ctx context.Context, n int, viz func(int) *Viz) ([]Result, error) {
 	o := p.opts
-	heap := topk.New[Result](o.K)
+	workers := o.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	type refKey struct{ alt, n int }
-	refs := make(map[refKey][]float64) // reference per alternative index and length
-	for i := 0; i < n; i++ {
+	var (
+		refMu sync.RWMutex
+		refs  = make(map[refKey][]float64) // reference per alternative index and length
+	)
+	refFor := func(ai int, alt shape.Chain, length int) []float64 {
+		key := refKey{ai, length}
+		refMu.RLock()
+		ref, ok := refs[key]
+		refMu.RUnlock()
+		if ok {
+			return ref
+		}
+		computed := dtw.ZNormalized(renderReference(alt, length))
+		refMu.Lock()
+		if prev, ok := refs[key]; ok {
+			computed = prev // lost the race; keep the first
+		} else {
+			refs[key] = computed
+		}
+		refMu.Unlock()
+		return computed
+	}
+	type slot struct {
+		res Result
+		ok  bool
+	}
+	slots := make([]slot, n)
+	err := forEachIndex(ctx, workers, n, func(_, i int) {
 		v := viz(i)
 		if v == nil {
-			continue
+			return
 		}
 		target := dtw.ZNormalized(v.Series.Y)
 		best := math.Inf(-1)
 		for ai, alt := range p.norm.Alternatives {
-			key := refKey{ai, v.N()}
-			ref, ok := refs[key]
-			if !ok {
-				ref = dtw.ZNormalized(renderReference(alt, v.N()))
-				refs[key] = ref
-			}
+			ref := refFor(ai, alt, v.N())
 			var d float64
 			if o.Algorithm == AlgDTW {
 				d = dtw.BandDistance(ref, target, o.DTWBand)
@@ -463,7 +598,16 @@ func (p *Plan) distanceRun(n int, viz func(int) *Viz) ([]Result, error) {
 				best = sc
 			}
 		}
-		heap.Add(best, Result{Z: v.Series.Z, Score: best, Series: v.Series})
+		slots[i] = slot{res: Result{Z: v.Series.Z, Score: best, Series: v.Series}, ok: true}
+	})
+	if err != nil {
+		return nil, err
+	}
+	heap := topk.New[Result](o.K)
+	for _, s := range slots {
+		if s.ok {
+			heap.Add(s.res.Score, s.res)
+		}
 	}
 	return collect(heap), nil
 }

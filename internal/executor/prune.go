@@ -15,12 +15,13 @@ import (
 // score bound against the live shared threshold. This file keeps the
 // bound machinery itself.
 
-// coarseScore runs the DP on a sub-sampled candidate grid; the result is a
-// valid (achievable) score and therefore a lower bound.
-func coarseScore(v *Viz, norm shape.Normalized, o *Options, stride int) (float64, bool) {
+// coarseScore runs the DP on a sub-sampled candidate grid in the worker's
+// evaluation context; the result is a valid (achievable) score and
+// therefore a lower bound.
+func coarseScore(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, stride int) (float64, bool) {
 	best := math.Inf(-1)
 	for _, alt := range norm.Alternatives {
-		ce, err := compileChain(v, alt, o)
+		ce, err := ec.compile(v, alt, o)
 		if err != nil {
 			return 0, false
 		}

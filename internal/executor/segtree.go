@@ -21,6 +21,8 @@ import "math"
 // break bookkeeping = O(k⁴); O(n) nodes total gives O(nk⁴), linear in the
 // number of points.
 func treeRun(ce *chainEval, t1, t2, lo, hi int) runResult {
+	ctx := ce.ctx
+	ctx.resetTree()
 	k := t2 - t1 + 1
 	// Leaves are at least the minimum segment width wide — the paper's
 	// "smallest possible VisualSegment" is a bin of width b, and the bin
@@ -29,7 +31,8 @@ func treeRun(ce *chainEval, t1, t2, lo, hi int) runResult {
 	if s := minSpan(ce, k, lo, hi); s > stride {
 		stride = s
 	}
-	cands := candidates(lo, hi, stride)
+	ctx.treeCands = appendCandidates(ctx.treeCands[:0], lo, hi, stride)
+	cands := ctx.treeCands
 	// The stride grid can leave a final gap narrower than the width floor;
 	// merge it into the previous leaf so no leaf (hence no unit) violates
 	// the floor the other engines honor.
@@ -37,30 +40,34 @@ func treeRun(ce *chainEval, t1, t2, lo, hi int) runResult {
 		cands = append(cands[:len(cands)-2], hi)
 	}
 	if len(cands) < 2 {
-		return infeasibleRun(t1, t2, lo)
+		return infeasibleRunCtx(ctx, t1, t2, lo)
 	}
-	nodes := make([]*treeNode, 0, len(cands)-1)
+	nodes := ctx.treeLevel[:0]
 	for i := 0; i+1 < len(cands); i++ {
 		nodes = append(nodes, newLeaf(ce, t1, k, cands[i], cands[i+1]))
 	}
+	next := ctx.treeLevelNext[:0]
 	for len(nodes) > 1 {
-		next := make([]*treeNode, 0, (len(nodes)+1)/2)
+		next = next[:0]
 		for i := 0; i+1 < len(nodes); i += 2 {
 			next = append(next, combine(ce, t1, k, nodes[i], nodes[i+1]))
 		}
 		if len(nodes)%2 == 1 {
 			next = append(next, nodes[len(nodes)-1])
 		}
-		nodes = next
+		nodes, next = next, nodes
 	}
+	ctx.treeLevel, ctx.treeLevelNext = nodes, next
 	root := nodes[0]
 	e := root.entry(0, k-1)
 	if e == nil {
-		return infeasibleRun(t1, t2, lo)
+		return infeasibleRunCtx(ctx, t1, t2, lo)
 	}
-	breaks := append([]int(nil), e.breaks...)
+	breaks := append(ctx.breaksBuf[:0], e.breaks...)
+	ctx.breaksBuf = breaks
 	score := refineBreaks(ce, t1, lo, hi, stride, breaks, e.score)
-	return runResult{score: score, ranges: breaksToRanges(lo, hi, breaks)}
+	ctx.rangesOut = appendBreaksToRanges(ctx.rangesOut[:0], lo, hi, breaks)
+	return runResult{score: score, ranges: ctx.rangesOut}
 }
 
 // refineBreaks polishes the SegmentTree's leaf-aligned break points on the
@@ -140,20 +147,27 @@ func (n *treeNode) entry(a, b int) *treeEntry { return n.entries[a*n.k+b] }
 
 func (n *treeNode) setEntry(a, b int, e *treeEntry) { n.entries[a*n.k+b] = e }
 
-// newLeaf scores every single unit over one atomic gap.
+// newLeaf scores every single unit over one atomic gap. Nodes, entries and
+// entry slabs come from the context's arenas (reset per treeRun).
 func newLeaf(ce *chainEval, t1, k, lo, hi int) *treeNode {
-	n := &treeNode{lo: lo, hi: hi, leaves: 1, k: k, entries: make([]*treeEntry, k*k)}
+	ctx := ce.ctx
+	n := ctx.treeNodes.alloc()
+	*n = treeNode{lo: lo, hi: hi, leaves: 1, k: k, entries: ctx.treeSlabs.alloc(k * k)}
 	for a := 0; a < k; a++ {
 		sc := ce.unitScore(t1+a, lo, hi)
 		w := ce.chain.Units[t1+a].Weight
-		n.setEntry(a, a, &treeEntry{score: w * sc, firstScore: sc, lastScore: sc})
+		e := ctx.treeEntries.alloc()
+		*e = treeEntry{score: w * sc, firstScore: sc, lastScore: sc}
+		n.setEntry(a, a, e)
 	}
 	return n
 }
 
 // combine builds the parent of two adjacent nodes.
 func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
-	p := &treeNode{lo: l.lo, hi: r.hi, leaves: l.leaves + r.leaves, k: k, entries: make([]*treeEntry, k*k)}
+	ctx := ce.ctx
+	p := ctx.treeNodes.alloc()
+	*p = treeNode{lo: l.lo, hi: r.hi, leaves: l.leaves + r.leaves, k: k, entries: ctx.treeSlabs.alloc(k * k)}
 	for a := 0; a < k; a++ {
 		for b := a; b < k; b++ {
 			units := b - a + 1
@@ -169,11 +183,12 @@ func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
 					if le != nil && re != nil {
 						s := le.score + re.score
 						if best == nil || s > best.score {
-							breaks := make([]int, 0, units-1)
+							breaks := ctx.treeInts.alloc(units - 1)
 							breaks = append(breaks, le.breaks...)
 							breaks = append(breaks, l.hi)
 							breaks = append(breaks, re.breaks...)
-							best = &treeEntry{
+							best = ctx.treeEntries.alloc()
+							*best = treeEntry{
 								score:      s,
 								breaks:     breaks,
 								firstScore: le.firstScore,
@@ -200,7 +215,7 @@ func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
 				mergedScore := ce.unitScore(t1+c, mergedStart, mergedEnd)
 				s := le.score - w*le.lastScore + re.score - w*re.firstScore + w*mergedScore
 				if best == nil || s > best.score {
-					breaks := make([]int, 0, units-1)
+					breaks := ctx.treeInts.alloc(units - 1)
 					breaks = append(breaks, le.breaks...)
 					breaks = append(breaks, re.breaks...)
 					first := le.firstScore
@@ -211,7 +226,8 @@ func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
 					if b == c {
 						last = mergedScore
 					}
-					best = &treeEntry{score: s, breaks: breaks, firstScore: first, lastScore: last}
+					best = ctx.treeEntries.alloc()
+					*best = treeEntry{score: s, breaks: breaks, firstScore: first, lastScore: last}
 				}
 			}
 			if best != nil && best.score > -math.MaxFloat64 {
@@ -225,14 +241,17 @@ func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
 // breaksToRanges converts interior break positions into per-unit inclusive
 // ranges (adjacent units share the break point).
 func breaksToRanges(lo, hi int, breaks []int) [][2]int {
-	ranges := make([][2]int, 0, len(breaks)+1)
+	return appendBreaksToRanges(make([][2]int, 0, len(breaks)+1), lo, hi, breaks)
+}
+
+// appendBreaksToRanges is breaksToRanges into a reusable buffer.
+func appendBreaksToRanges(ranges [][2]int, lo, hi int, breaks []int) [][2]int {
 	start := lo
 	for _, b := range breaks {
 		ranges = append(ranges, [2]int{start, b})
 		start = b
 	}
-	ranges = append(ranges, [2]int{start, hi})
-	return ranges
+	return append(ranges, [2]int{start, hi})
 }
 
 // levelSlopes returns, for each SegmentTree level from the leaves upward,

@@ -8,6 +8,7 @@ package executor
 
 import (
 	"math"
+	"sync"
 
 	"shapesearch/internal/dataset"
 	"shapesearch/internal/segstat"
@@ -33,6 +34,16 @@ type Viz struct {
 	// because no query range references them (push-down (c), Section 5.4).
 	// Fits touching skipped points are invalid; nil means none skipped.
 	Skipped []bool
+
+	// Chain-compilation inputs derived purely from the visualization,
+	// memoized on first use: every chain of every alternative of every
+	// query re-reads them, so they must not be recomputed per compile.
+	// Lazy (not filled in group) so directly constructed Viz literals in
+	// tests behave identically; the Once makes concurrent workers safe.
+	memoOnce sync.Once
+	yLo, yHi float64
+	amp      float64
+	skipPre  []int
 }
 
 // N reports the number of points.
@@ -140,16 +151,53 @@ func padRanges(ranges [][2]float64, pad float64) [][2]float64 {
 	return out
 }
 
-// yRange reports the min and max of the raw y values.
+// memoize fills the lazily derived per-viz statistics exactly once.
+func (v *Viz) memoize() {
+	v.memoOnce.Do(func() {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, y := range v.Series.Y {
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		v.yLo, v.yHi = lo, hi
+		v.amp = segstat.Std(v.NY)
+		if v.amp == 0 {
+			v.amp = 1
+		}
+		if v.Skipped != nil {
+			pre := make([]int, len(v.Skipped)+1)
+			for i, s := range v.Skipped {
+				pre[i+1] = pre[i]
+				if s {
+					pre[i+1]++
+				}
+			}
+			v.skipPre = pre
+		}
+	})
+}
+
+// yRange reports the min and max of the raw y values (memoized).
 func (v *Viz) yRange() (lo, hi float64) {
-	lo, hi = math.Inf(1), math.Inf(-1)
-	for _, y := range v.Series.Y {
-		if y < lo {
-			lo = y
-		}
-		if y > hi {
-			hi = y
-		}
-	}
-	return lo, hi
+	v.memoize()
+	return v.yLo, v.yHi
+}
+
+// ampUnit is one standard deviation of the normalized y values (memoized);
+// quantifier occurrences must move at least a quarter of it to count as a
+// perceptible rise or fall. Never zero: flat charts report 1.
+func (v *Viz) ampUnit() float64 {
+	v.memoize()
+	return v.amp
+}
+
+// skipPrefix returns the skipped-point prefix sums (memoized); nil when the
+// GROUP operator summarized everything.
+func (v *Viz) skipPrefix() []int {
+	v.memoize()
+	return v.skipPre
 }

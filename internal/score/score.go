@@ -229,7 +229,13 @@ func Quantifier(mod shape.Modifier, occurrenceScores []float64, threshold float6
 // positively-scoring bins as the occurrences of a quantified pattern: a
 // trendline "rises twice" when it has two maximal increasing stretches.
 func PositiveRuns(scores []float64, threshold float64) [][2]int {
-	var runs [][2]int
+	return PositiveRunsInto(nil, scores, threshold)
+}
+
+// PositiveRunsInto is PositiveRuns appending into a reusable buffer
+// (typically sliced to [:0] by the caller); the quantifier hot path uses it
+// to avoid a per-range allocation.
+func PositiveRunsInto(runs [][2]int, scores []float64, threshold float64) [][2]int {
 	start := -1
 	for i, s := range scores {
 		if s > threshold {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -79,8 +80,10 @@ func (c *candidateCache) disable() {
 // runs build while the rest wait on its result, so a cold cache under a
 // burst of identical queries extracts and groups once, not N times.
 // hit reports whether this call reused existing or in-flight work (false
-// only for the leader of a fresh build).
-func (c *candidateCache) fetch(dataset, key string, build func() ([]*executor.Viz, error)) (vizs []*executor.Viz, hit bool, err error) {
+// only for the leader of a fresh build). A waiter whose ctx expires stops
+// waiting and returns ctx.Err(); the leader's build is never canceled —
+// its result still lands in the cache for live requests.
+func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build func() ([]*executor.Viz, error)) (vizs []*executor.Viz, hit bool, err error) {
 	c.mu.Lock()
 	if !c.enabled {
 		c.mu.Unlock()
@@ -97,8 +100,12 @@ func (c *candidateCache) fetch(dataset, key string, build func() ([]*executor.Vi
 	if f, ok := c.flights[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		<-f.done
-		return f.vizs, true, f.err
+		select {
+		case <-f.done:
+			return f.vizs, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
 	c.misses++
 	f := &flight{done: make(chan struct{}), err: errBuildAbandoned}

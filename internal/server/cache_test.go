@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func fill(t *testing.T, c *candidateCache, key string) {
 	t.Helper()
-	_, _, err := c.fetch("ds", key, func() ([]*executor.Viz, error) {
+	_, _, err := c.fetch(context.Background(), "ds", key, func() ([]*executor.Viz, error) {
 		return []*executor.Viz{}, nil
 	})
 	if err != nil {
@@ -56,11 +57,11 @@ func TestCandidateCacheInvalidateDataset(t *testing.T) {
 	c := newCandidateCache(8)
 	for i := 0; i < 3; i++ {
 		key := fmt.Sprintf("a-%d", i)
-		if _, _, err := c.fetch("a", key, func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
+		if _, _, err := c.fetch(context.Background(), "a", key, func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := c.fetch("b", "b-0", func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
+	if _, _, err := c.fetch(context.Background(), "b", "b-0", func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
 	c.invalidateDataset("a")

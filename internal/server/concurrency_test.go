@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -233,12 +234,12 @@ func TestFetchPanicSafety(t *testing.T) {
 				t.Fatal("build panic must propagate to the leader")
 			}
 		}()
-		c.fetch("d", "k", func() ([]*executor.Viz, error) { panic("boom") })
+		c.fetch(context.Background(), "d", "k", func() ([]*executor.Viz, error) { panic("boom") })
 	}()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		vizs, hit, err := c.fetch("d", "k", func() ([]*executor.Viz, error) {
+		vizs, hit, err := c.fetch(context.Background(), "d", "k", func() ([]*executor.Viz, error) {
 			return []*executor.Viz{}, nil
 		})
 		if err != nil || hit || vizs == nil {

@@ -13,7 +13,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shapesearch/internal/dataset"
 	"shapesearch/internal/executor"
@@ -44,6 +47,11 @@ type Server struct {
 	// inflight counts searches currently executing; it divides the CPU
 	// budget across concurrent requests (see searchParallelism).
 	inflight atomic.Int64
+	// searchTimeout bounds one search's scoring time in nanoseconds
+	// (0 = unbounded). Expired or client-abandoned requests cancel the
+	// scoring pipeline cooperatively, freeing their workers for live
+	// traffic instead of wasting cores on answers nobody will read.
+	searchTimeout atomic.Int64
 }
 
 // New returns a server with no datasets registered.
@@ -81,6 +89,12 @@ func (s *Server) Register(name string, t *dataset.Table) {
 // DisableCache turns the candidate cache off (used by benchmarks to
 // measure the uncached serving path).
 func (s *Server) DisableCache() { s.cache.disable() }
+
+// SetSearchTimeout bounds the scoring time of each /api/search request;
+// d <= 0 removes the bound. A request whose deadline expires (or whose
+// client disconnects) gets 503 and its workers return to the pool within
+// one candidate's scoring time.
+func (s *Server) SetSearchTimeout(d time.Duration) { s.searchTimeout.Store(int64(d)) }
 
 // searchParallelism budgets scoring workers for one search: the machine's
 // cores are divided across the searches in flight at admission time (a
@@ -262,8 +276,7 @@ type searchRequest struct {
 	// Parallelism caps the scoring workers for this request. It is an
 	// upper bound, not a guarantee: the server divides its cores across
 	// in-flight searches and an explicit value only ever lowers that
-	// budget (0, the default, accepts the full budget). Ignored by the
-	// dtw/euclidean baselines, which scan sequentially.
+	// budget (0, the default, accepts the full budget).
 	Parallelism int `json:"parallelism,omitempty"`
 	// MaxPoints caps the number of series points echoed per result
 	// (downsampled for plotting); 0 means 200.
@@ -338,12 +351,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The request's context governs the whole data path: the per-request
+	// timeout (if configured) starts before extraction, so an expired or
+	// abandoned request neither extracts nor scores.
+	ctx := r.Context()
+	if d := time.Duration(s.searchTimeout.Load()); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	// Candidate cache: repeated queries over the same visual parameters
 	// (dataset version + effective extract spec + group config) reuse the
 	// grouped Viz slices and skip EXTRACT + GROUP entirely; concurrent
 	// cold misses coalesce into one extraction.
+	// The expiry check sits outside the fetch closure on purpose: a dead
+	// request must not start an extraction, but a request dying mid-fetch
+	// must not poison coalesced waiters sharing the singleflight — their
+	// extraction completes and populates the cache regardless.
+	if err := ctx.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
+		return
+	}
 	key := cacheKey(req.Dataset, version, plan.CandidateKey(spec))
-	vizs, hit, err := s.cache.fetch(req.Dataset, key, func() ([]*executor.Viz, error) {
+	vizs, hit, err := s.cache.fetch(ctx, req.Dataset, key, func() ([]*executor.Viz, error) {
 		series, err := ix.Extract(plan.EffectiveSpec(spec))
 		if err != nil {
 			return nil, err
@@ -351,6 +381,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return plan.GroupSeries(series), nil
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -368,8 +402,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.cache.remove(key)
 		}
 	}
-	results, err := plan.RunGrouped(vizs)
+	// Score under the same context: a disconnecting client (or the
+	// configured per-request timeout) cancels the worker pool instead of
+	// letting an abandoned query keep burning cores.
+	results, err := plan.RunGroupedContext(ctx, vizs)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}

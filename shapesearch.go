@@ -22,6 +22,7 @@
 package shapesearch
 
 import (
+	"context"
 	"io"
 
 	"shapesearch/internal/crf"
@@ -265,8 +266,22 @@ func Search(src Source, spec ExtractSpec, q Query, opts Options) ([]Result, erro
 	return executor.Search(src, spec, q, opts)
 }
 
+// SearchContext is Search with cooperative cancellation: when ctx is
+// canceled (or its deadline expires) the scoring worker pool stops pulling
+// candidates and the call returns ctx.Err(). Compiled plans expose the same
+// via Plan.SearchContext / Plan.RunContext / Plan.RunGroupedContext.
+func SearchContext(ctx context.Context, src Source, spec ExtractSpec, q Query, opts Options) ([]Result, error) {
+	return executor.SearchContext(ctx, src, spec, q, opts)
+}
+
 // SearchSeries ranks pre-extracted trendlines against the query (a thin
 // wrapper over Compile + Plan.Run).
 func SearchSeries(series []Series, q Query, opts Options) ([]Result, error) {
 	return executor.SearchSeries(series, q, opts)
+}
+
+// SearchSeriesContext is SearchSeries with cooperative cancellation (see
+// SearchContext).
+func SearchSeriesContext(ctx context.Context, series []Series, q Query, opts Options) ([]Result, error) {
+	return executor.SearchSeriesContext(ctx, series, q, opts)
 }
