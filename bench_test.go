@@ -368,6 +368,24 @@ func BenchmarkPlanReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkSearchPruned measures the lossless-pruning speedup on a
+// separated workload (gen.DriftPeaks): a drifting bulk whose sound score
+// upper bound falls below the floor set by a few planted peaks. This is the
+// regime pruning exists for — the ablation benchmark above shows the
+// no-separation regime, where a lossless pruner cannot skip much.
+func BenchmarkSearchPruned(b *testing.B) {
+	tbl := gen.DriftPeaks(400, 256, 11)
+	series, err := dataset.Extract(tbl, dataset.ExtractSpec{Z: "series", X: "t", Y: "v"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pruning := range []bool{false, true} {
+		b.Run(fmt.Sprintf("pruning=%v", pruning), func(b *testing.B) {
+			runSearch(b, series, "u ; d ; u ; d", benchOpts(executor.AlgSegmentTree, pruning))
+		})
+	}
+}
+
 // BenchmarkPruning_SharedThreshold measures the unified pruned pipeline's
 // worker scaling: all workers share one top-k heap whose floor is the live
 // pruning threshold, so pruning and parallelism compose (they used to be

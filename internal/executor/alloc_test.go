@@ -40,12 +40,20 @@ func TestSteadyStateAllocs(t *testing.T) {
 	)
 	series := allocSeries(nSeries, points)
 	for _, alg := range []struct {
-		name string
-		a    Algorithm
-	}{{"DP", AlgDP}, {"SegmentTree", AlgSegmentTree}} {
+		name    string
+		a       Algorithm
+		pruning bool
+	}{{"DP", AlgDP, false}, {"SegmentTree", AlgSegmentTree, false},
+		// The pruned pipeline's per-candidate bound check must be free in
+		// steady state: slope stats are memoized on the Viz (filled during
+		// warm-up) and the pin/run scratch lives on the pooled evalCtx.
+		// Only per-run bookkeeping (slots, order, heaps, stage-1 sample)
+		// may allocate, and that is covered by the same budget.
+		{"SegmentTreePruned", AlgSegmentTree, true}} {
 		t.Run(alg.name, func(t *testing.T) {
 			opts := seqOpts()
 			opts.Algorithm = alg.a
+			opts.Pruning = alg.pruning
 			plan, err := Compile(regexlang.MustParse("u ; d ; u"), opts)
 			if err != nil {
 				t.Fatal(err)

@@ -130,8 +130,14 @@ func eagerCheckable(cu *compiledUnit) bool {
 // over [lo, hi]: the configured MinSegmentFrac floor, relaxed when the run
 // has too many units to honor it.
 func minSpan(ce *chainEval, k, lo, hi int) int {
-	n := ce.viz.N()
-	m := int(ce.opts.MinSegmentFrac * float64(n-1))
+	return minSpanWidth(ce.opts, ce.viz.N(), k, lo, hi)
+}
+
+// minSpanWidth is minSpan without a chainEval: the sound pruning bound
+// reconstructs the solver's width floor per fuzzy run from the same inputs,
+// so the two must never diverge.
+func minSpanWidth(o *Options, n, k, lo, hi int) int {
+	m := int(o.MinSegmentFrac * float64(n-1))
 	if m < 1 {
 		m = 1
 	}

@@ -197,9 +197,8 @@ func TestGreedyFindsLocalOptimum(t *testing.T) {
 	_ = total
 }
 
-// TestPruningPreservesTopK: two-stage pruning must return (nearly) the same
-// top-k as the unpruned SegmentTree. On well-separated synthetic data it is
-// exact.
+// TestPruningPreservesTopK: lossless pruning must return exactly the same
+// top-k — identity, order and scores — as the unpruned SegmentTree scan.
 func TestPruningPreservesTopK(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	var series []dataset.Series
@@ -231,18 +230,11 @@ func TestPruningPreservesTopK(t *testing.T) {
 	if len(got) != len(want) {
 		t.Fatalf("len %d != %d", len(got), len(want))
 	}
-	wantSet := map[string]bool{}
-	for _, r := range want {
-		wantSet[r.Z] = true
-	}
-	match := 0
-	for _, r := range got {
-		if wantSet[r.Z] {
-			match++
+	for i := range want {
+		if got[i].Z != want[i].Z || got[i].Score != want[i].Score {
+			t.Fatalf("rank %d: pruned %s %.12f != unpruned %s %.12f",
+				i, got[i].Z, got[i].Score, want[i].Z, want[i].Score)
 		}
-	}
-	if match < len(want) {
-		t.Fatalf("pruned top-k overlap %d/%d", match, len(want))
 	}
 }
 

@@ -14,8 +14,7 @@ import (
 // unit over a range, and combines unit scores into the chain score.
 type chainEval struct {
 	// ctx owns every scratch buffer the evaluation reuses; non-nil for any
-	// chainEval built through compile/compileChain. (Throwaway chainEvals
-	// built for levelSlopes leave it nil — that path needs no scratch.)
+	// chainEval built through compile/compileChain.
 	ctx   *evalCtx
 	viz   *Viz
 	chain shape.Chain

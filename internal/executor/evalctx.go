@@ -44,6 +44,11 @@ type evalCtx struct {
 	runsBuf    [][2]int
 	runScores  []float64
 
+	// Sound-pruning-bound scratch (soundUpperBound): per-unit pin indices
+	// and pin-validity flags for the alternative under inspection.
+	ubPinS, ubPinE []int
+	ubPinBad       []bool
+
 	// SegmentTree arenas and level buffers (reset per treeRun).
 	treeNodes     nodeArena
 	treeEntries   entryArena
@@ -100,6 +105,14 @@ func growFloats(buf *[]float64, n int) []float64 {
 func growInts(buf *[]int, n int) []int {
 	if cap(*buf) < n {
 		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf

@@ -9,7 +9,6 @@ import (
 	"shapesearch/internal/dataset"
 	"shapesearch/internal/score"
 	"shapesearch/internal/shape"
-	"shapesearch/internal/topk"
 )
 
 // Algorithm selects the segmentation strategy for fuzzy queries.
@@ -115,6 +114,11 @@ type Options struct {
 	// compilation skips the validation walk (UDP resolution and nested
 	// normalization already ran once, plan-wide).
 	compiled bool
+	// pruneThresholdBias artificially inflates the stage-2 pruning
+	// threshold. Test-only: it forces over-pruning so the deferred
+	// verification stage's rescue path can be exercised deterministically;
+	// zero in production. Losslessness must hold for any value.
+	pruneThresholdBias float64
 }
 
 // DefaultOptions returns the system defaults.
@@ -261,15 +265,6 @@ func makeResult(v *Viz, sc float64, ranges [][2]int) Result {
 		}
 	}
 	return r
-}
-
-func collect(h *topk.Heap[Result]) []Result {
-	items := h.Sorted()
-	out := make([]Result, len(items))
-	for i, it := range items {
-		out[i] = it.Value
-	}
-	return out
 }
 
 // filterSeriesWithData keeps series that have at least one point inside

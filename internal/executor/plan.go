@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -290,25 +291,71 @@ func (s *sharedTopK) floor() (float64, bool) {
 	return s.heap.Floor()
 }
 
+// slot is one candidate's pipeline outcome, indexed by input position.
+// Evaluated candidates carry their result; pruned candidates are never
+// discarded — they carry their grouped viz and sound upper bound so the
+// deferred verification stage can exactly re-score any of them that the
+// final top-k floor fails to dominate.
+type slot struct {
+	res    Result
+	ok     bool
+	v      *Viz
+	ub     float64
+	pruned bool
+}
+
+// topKSlots selects the top-k results from the filled slots by
+// (score descending, input index ascending) — the deterministic tie rule
+// every engine shares, so pruned, parallel and sequential runs rank
+// identically.
+func topKSlots(slots []slot, k int) []Result {
+	idx := make([]int, 0, len(slots))
+	for i := range slots {
+		if slots[i].ok {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := slots[idx[a]].res.Score, slots[idx[b]].res.Score
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([]Result, len(idx))
+	for i, j := range idx {
+		out[i] = slots[j].res
+	}
+	return out
+}
+
 // run is the unified scoring pipeline: a pool of Parallelism workers pulls
 // candidate indices, groups/evaluates them, and shares one top-k heap whose
-// floor feeds upperBoundBelow as the collective pruning threshold (Section
+// floor is the collective pruning threshold fed to soundUpperBound (Section
 // 6.3). Pruning and parallelism compose: with one worker the pipeline
-// degenerates to the old sequential pruned scan; with many, every worker
-// both benefits from and tightens the shared threshold.
+// degenerates to a sequential pruned scan; with many, every worker both
+// benefits from and tightens the shared threshold.
 //
-// Determinism: workers record survivors per index and the final top-k is
-// rebuilt in index order, so equal-scoring candidates resolve identically
-// regardless of worker interleaving. Without pruning the returned top-k
-// therefore matches the sequential result exactly. With pruning it matches
-// whenever the Table 7 bound holds within pruneSafetyMargin — a pruned
-// candidate's exact score then trails the final k-th score, so it cannot
-// belong to the top k. When the bound is violated beyond the margin (the
-// documented heuristic gap; see ROADMAP "Open items"), a borderline
-// candidate's fate can depend on how far the shared floor has risen when
-// its worker reaches it, so pruned runs at Parallelism > 1 may differ on
-// such candidates — the same class the sequential pruned scan already
-// mis-prunes deterministically.
+// Lossless pruning: a candidate is pruned only when a provable upper bound
+// on its score (soundUpperBound) trails the live threshold, and even then
+// it is recorded, not discarded. After the main pass, any pruned candidate
+// whose bound reaches the final top-k floor is exactly re-scored on the
+// same worker pool before results are rebuilt. The returned top-k is
+// therefore identical — scores and ranking — to the unpruned scan: a
+// candidate absent from it either scored below the floor, or carried a
+// sound bound (hence an exact score) below the floor. The verification
+// stage normally re-scores nothing (the shared floor only rises, so a
+// pruned candidate's bound stays below the final floor); it turns a
+// stage-1 floor overshoot — coarse DP scores are achievable for the
+// optimal segmentation but not necessarily for the SegmentTree solver — or
+// any future bound regression into wasted work instead of a wrong answer.
+//
+// Determinism: workers fill per-index slots and the final top-k is selected
+// by (score, input index), so results are identical under any worker
+// interleaving, pruned or not.
 func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, error) {
 	o := p.opts
 	if err := ctx.Err(); err != nil {
@@ -338,33 +385,6 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 		}
 	}()
 
-	lb := math.Inf(-1)
-	if p.prune {
-		var sampled []*Viz
-		var err error
-		lb, sampled, err = p.sampleFloor(ctx, n, viz, workers, ecs)
-		if err != nil {
-			return nil, err
-		}
-		// Stage 2 reuses the vizs stage 1 already grouped instead of
-		// running GROUP a second time over the sampled indices. The memo
-		// is write-free after this point, so workers read it lock-free.
-		inner := viz
-		viz = func(i int) *Viz {
-			if v := sampled[i]; v != nil {
-				return v
-			}
-			return inner(i)
-		}
-	}
-
-	type slot struct {
-		res Result
-		ok  bool
-	}
-	slots := make([]slot, n)
-	shared := &sharedTopK{heap: topk.New[float64](o.K)}
-
 	var (
 		errMu    sync.Mutex
 		firstErr error
@@ -379,11 +399,74 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 		abort.Store(true)
 	}
 
-	ctxErr := forEachIndex(ctx, workers, n, func(worker, i int) {
+	lb := math.Inf(-1)
+	if p.prune {
+		var sampled []*Viz
+		var err error
+		lb, sampled, err = p.sampleFloor(ctx, n, viz, workers, ecs, fail, &abort)
+		if err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		// Stage 2 reuses the vizs stage 1 already grouped instead of
+		// running GROUP a second time over the sampled indices. The memo
+		// is write-free after this point, so workers read it lock-free.
+		inner := viz
+		viz = func(i int) *Viz {
+			if v := sampled[i]; v != nil {
+				return v
+			}
+			return inner(i)
+		}
+	}
+
+	slots := make([]slot, n)
+	shared := &sharedTopK{heap: topk.New[float64](o.K)}
+
+	// Bound-first ordering: with pruning on, every candidate is grouped and
+	// bounded up front (the bounds must be recorded anyway for the deferred
+	// verification stage), and the scoring pass visits candidates in
+	// descending-bound order. Likely-strong candidates score first, so the
+	// shared floor tightens almost immediately and pruning stays effective
+	// even when the strong candidates are rare and late in input order.
+	// Order never affects soundness — only how fast the threshold rises.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if p.prune {
+		ctxErr := forEachIndex(ctx, workers, n, func(worker, i int) {
+			v := viz(i)
+			if v == nil {
+				return
+			}
+			slots[i] = slot{v: v, ub: soundUpperBound(ecs[worker], v, p.norm, o), pruned: true}
+		})
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ua, ub := slots[order[a]].ub, slots[order[b]].ub
+			if ua != ub {
+				return ua > ub
+			}
+			return order[a] < order[b]
+		})
+	}
+
+	ctxErr := forEachIndex(ctx, workers, n, func(worker, j int) {
 		if abort.Load() {
 			return
 		}
-		v := viz(i)
+		i := order[j]
+		var v *Viz
+		if p.prune {
+			v = slots[i].v
+		} else {
+			v = viz(i)
+		}
 		if v == nil {
 			return
 		}
@@ -397,8 +480,9 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 			if f, ok := shared.floor(); ok && f > threshold {
 				threshold = f
 			}
-			if !math.IsInf(threshold, -1) && upperBoundBelow(v, p.norm, o, threshold) {
-				return
+			threshold += o.pruneThresholdBias
+			if !math.IsInf(threshold, -1) && slots[i].ub < threshold {
+				return // stays recorded as pruned, with its bound
 			}
 		}
 		sc, ranges, err := evalViz(ecs[worker], v, p.norm, o, p.solver)
@@ -421,13 +505,51 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 		return nil, ctxErr
 	}
 
-	heap := topk.New[Result](o.K)
-	for _, s := range slots {
-		if s.ok {
-			heap.Add(s.res.Score, s.res)
+	if p.prune {
+		// The shared heap saw every exactly-scored candidate, so its floor
+		// is the final top-k floor the verification stage compares against.
+		floor, full := shared.floor()
+		if err := p.verifyPruned(ctx, workers, ecs, slots, floor, full, fail, &abort); err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, firstErr
 		}
 	}
-	return collect(heap), nil
+
+	return topKSlots(slots, o.K), nil
+}
+
+// verifyPruned is the deferred exact-verification stage (stage 3 of the
+// lossless pruning): every pruned candidate whose sound upper bound is not
+// strictly dominated by the final top-k floor (the shared heap's floor
+// after the main pass; full is false while fewer than k candidates scored,
+// and then every pruned candidate is verified) is re-scored exactly on the
+// worker pool, in place. Rescoring can only add results at or above the
+// floor, so a single pass suffices: candidates it leaves pruned carry a
+// bound — and therefore an exact score — provably below the floor.
+func (p *Plan) verifyPruned(ctx context.Context, workers int, ecs []*evalCtx, slots []slot, floor float64, full bool, fail func(error), abort *atomic.Bool) error {
+	rescue := make([]int, 0, 16)
+	for i := range slots {
+		if slots[i].pruned && (!full || slots[i].ub >= floor-boundEps) {
+			rescue = append(rescue, i)
+		}
+	}
+	if len(rescue) == 0 {
+		return nil
+	}
+	return forEachIndex(ctx, workers, len(rescue), func(worker, j int) {
+		if abort.Load() {
+			return
+		}
+		i := rescue[j]
+		sc, ranges, err := evalViz(ecs[worker], slots[i].v, p.norm, p.opts, p.solver)
+		if err != nil {
+			fail(err)
+			return
+		}
+		slots[i] = slot{res: makeResult(slots[i].v, sc, ranges), ok: true}
+	})
 }
 
 // sampleFloor is stage 1 of the collective pruning (Section 6.3): a small,
@@ -440,7 +562,7 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 // slice holds the grouped viz of every sampled index (distinct indices,
 // written by distinct workers, read-only afterwards) so stage 2 need not
 // group them again.
-func (p *Plan) sampleFloor(ctx context.Context, n int, viz func(int) *Viz, workers int, ecs []*evalCtx) (float64, []*Viz, error) {
+func (p *Plan) sampleFloor(ctx context.Context, n int, viz func(int) *Viz, workers int, ecs []*evalCtx, fail func(error), abort *atomic.Bool) (float64, []*Viz, error) {
 	o := p.opts
 	grouped := make([]*Viz, n)
 	sample := o.SampleSize
@@ -466,6 +588,9 @@ func (p *Plan) sampleFloor(ctx context.Context, n int, viz func(int) *Viz, worke
 	}
 	stage1 := &sharedTopK{heap: topk.New[float64](o.K)}
 	score := func(ec *evalCtx, i int) {
+		if abort.Load() {
+			return
+		}
 		v := viz(i)
 		if v == nil {
 			return
@@ -475,7 +600,16 @@ func (p *Plan) sampleFloor(ctx context.Context, n int, viz func(int) *Viz, worke
 		if coarse < 1 {
 			coarse = 1
 		}
-		if sc, ok := coarseScore(ec, v, p.norm, o, coarse); ok {
+		sc, ok, err := coarseScore(ec, v, p.norm, o, coarse)
+		if err != nil {
+			// A compile error here would hit every candidate in stage 2
+			// too; failing fast keeps the stage-1 floor honest instead of
+			// silently weakening it. The caller reads the recorded error
+			// after this returns.
+			fail(err)
+			return
+		}
+		if ok {
 			stage1.add(sc)
 		}
 	}
@@ -540,8 +674,9 @@ feed:
 // of visual query systems that Section 9 compares against. The scan runs on
 // the same worker pool as the segmentation engines; the per-(alternative,
 // length) reference memo is shared under a read-favoring lock, and the
-// top-k is rebuilt from per-index slots so the ranking is identical to the
-// sequential scan under any interleaving.
+// top-k is selected from per-index slots with the pipeline's (score, index)
+// tie rule so the ranking is identical to the sequential scan under any
+// interleaving.
 func (p *Plan) distanceRun(ctx context.Context, n int, viz func(int) *Viz) ([]Result, error) {
 	o := p.opts
 	workers := o.Parallelism
@@ -574,10 +709,6 @@ func (p *Plan) distanceRun(ctx context.Context, n int, viz func(int) *Viz) ([]Re
 		refMu.Unlock()
 		return computed
 	}
-	type slot struct {
-		res Result
-		ok  bool
-	}
 	slots := make([]slot, n)
 	err := forEachIndex(ctx, workers, n, func(_, i int) {
 		v := viz(i)
@@ -603,11 +734,5 @@ func (p *Plan) distanceRun(ctx context.Context, n int, viz func(int) *Viz) ([]Re
 	if err != nil {
 		return nil, err
 	}
-	heap := topk.New[Result](o.K)
-	for _, s := range slots {
-		if s.ok {
-			heap.Add(s.res.Score, s.res)
-		}
-	}
-	return collect(heap), nil
+	return topKSlots(slots, o.K), nil
 }

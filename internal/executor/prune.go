@@ -7,23 +7,61 @@ import (
 	"shapesearch/internal/shape"
 )
 
-// The two-stage collective pruning of Section 6.3 lives in the unified
-// Plan pipeline (plan.go): stage 1 (Plan.sampleFloor) seeds the shared
-// top-k heap's floor from sampled coarse lower bounds, and stage 2 runs
-// inside every pipeline worker, where upperBoundBelow walks the
-// SegmentTree levels bottom-up and compares the Table 7 (Theorem 6.4)
-// score bound against the live shared threshold. This file keeps the
-// bound machinery itself.
+// The collective pruning of Section 6.3 lives in the unified Plan pipeline
+// (plan.go) as three stages:
+//
+//   - Stage 1 (Plan.sampleFloor) seeds the shared top-k heap's floor from
+//     sampled coarse-grained scores. Coarse scores are achievable under the
+//     coarse DP but NOT necessarily under the SegmentTree solver that scores
+//     stage 2, so the seeded floor may overshoot the final top-k floor —
+//     stage 3 absorbs that.
+//   - Stage 2 runs inside every pipeline worker: soundUpperBound computes a
+//     provable upper bound on the candidate's query score, and the candidate
+//     is pruned when the bound falls below the live shared threshold. Pruned
+//     candidates are never discarded — the worker records them with their
+//     bounds in the result slots.
+//   - Stage 3 (deferred exact verification, Plan.run) re-scores, after the
+//     main pass, every pruned candidate whose recorded bound reaches the
+//     final top-k floor. A sound bound plus verification makes pruning
+//     lossless: a candidate missing from the final top-k either scored
+//     exactly below the floor, or carried a bound (hence an exact score)
+//     provably below it.
+//
+// This file keeps the bound machinery itself. Unlike the earlier Table 7
+// mid-tree-level heuristic (whose gap a fixed 0.05 safety margin papered
+// over — and failed to: see TestPruningIsLossless's pinned luminosity
+// case), the bound here makes no whole-node assumption, so unit ranges that
+// split SegmentTree nodes are covered by construction:
+//
+// For any contiguous point range, the least-squares slope is a convex
+// combination of the adjacent-pair slopes inside it (telescoping the fit:
+// slope = Σ_p T_p·Δy_p / Sxx with T_p = Σ_{q>p} (x_q − x̄) ≥ 0 and
+// Σ_p T_p·Δx_p = Sxx). A range of at least m points additionally caps every
+// pair's convex weight at maxSlopeWeight(m) — one noisy pair cannot
+// dominate a wide fit — so the fitted slope of every range a solver may
+// assign lies inside the capped-extreme interval of soundSlopeInterval.
+// unitBounds maps that slope interval through the pattern scores (Table 7
+// in interval form, score.BoundsInterval) and the operator composition of
+// Property 5.1; constructs whose score is not slope-determined stay at the
+// trivial [−1, 1].
+
+// boundEps absorbs floating-point noise when comparing a bound against an
+// exactly-scored floor: a candidate is only dismissed when its bound is
+// below the floor by more than this, and verification re-scores candidates
+// within it. This is float hygiene, not a tuning margin — the bound itself
+// is sound.
+const boundEps = 1e-9
 
 // coarseScore runs the DP on a sub-sampled candidate grid in the worker's
-// evaluation context; the result is a valid (achievable) score and
-// therefore a lower bound.
-func coarseScore(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, stride int) (float64, bool) {
+// evaluation context; the result is achievable under the coarse DP, hence a
+// lower bound on the optimal chain score. Compile errors propagate — a
+// silently-dropped sample would weaken the stage-1 floor.
+func coarseScore(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, stride int) (float64, bool, error) {
 	best := math.Inf(-1)
 	for _, alt := range norm.Alternatives {
 		ce, err := ec.compile(v, alt, o)
 		if err != nil {
-			return 0, false
+			return 0, false, err
 		}
 		res := solveChain(ce, func(ce *chainEval, t1, t2, lo, hi int) runResult {
 			return dpRunStride(ce, t1, t2, lo, hi, stride)
@@ -32,63 +70,196 @@ func coarseScore(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, stride 
 			best = res.score
 		}
 	}
-	return best, !math.IsInf(best, -1)
+	return best, !math.IsInf(best, -1), nil
 }
 
-// pruneSafetyMargin compensates for the gap in the Table 7 bound argument:
-// it assumes unit ranges are unions of whole level-i nodes, but a real
-// break can split a node, letting a unit's score exceed the bound slightly.
-// A visualization is pruned only when its upper bound trails the top-k
-// floor by more than this margin.
-const pruneSafetyMargin = 0.05
-
-// upperBoundBelow reports whether the visualization's query-score upper
-// bound, refined over successive SegmentTree levels, falls below the
-// current top-k lower bound.
-func upperBoundBelow(v *Viz, norm shape.Normalized, o *Options, lb float64) bool {
-	// Build a throwaway evaluator for the first alternative just to reuse
-	// slope machinery; level slopes depend only on the visualization.
-	ce := &chainEval{viz: v, opts: o}
-	levels := levelSlopes(ce, 0, v.N()-1)
-	if len(levels) == 0 {
-		return false
+// maxSlopeWeight bounds the convex weight any single adjacent-pair slope
+// can carry in the least-squares slope of a contiguous range of at least m
+// points, for a grid whose adjacent-gap ratio (max gap / min gap) is ratio.
+//
+// Uniform grid (ratio ≈ 1): the weight of pair p is T_p·Δx/Sxx with
+// T_p = Σ_{q>p}(x_q − x̄); its maximum over p has the closed form
+// ⌊m²/4⌋·d²/2 / (m(m²−1)d²/12) = 6⌊m²/4⌋/(m(m²−1)) — e.g. exactly 1/2 for
+// m = 3 (the middle of a 3-point fit is shared by both pairs).
+//
+// Irregular grid: with dmin ≤ every gap ≤ dmax, T_p ≤ dmax·u(u+1)/2 where
+// u = m − ⌈(m−1)/(2·ratio)⌉ counts points above the mean (the mean sits at
+// least (m−1)·dmin/2 from the left edge), and Sxx ≥ dmin²·m(m²−1)/12 (the
+// pairwise-spread identity Sxx = ΣΣ(x_q−x_p)²/(2m) with every |x_q−x_p| ≥
+// |q−p|·dmin). Both are conservative; the cap only ever errs upward, which
+// loosens the bound but never unsounds it.
+func maxSlopeWeight(m int, ratio float64) float64 {
+	if m < 3 {
+		return 1
 	}
-	// Check mid-tree levels: leaf levels give very loose bounds (tiny noisy
-	// segments have extreme slopes), while near-root levels are invalid for
-	// units covering sub-ranges — the Table 7 merging argument needs unit
-	// ranges to be unions of whole nodes, so nodes must stay much smaller
-	// than a typical unit range.
-	for _, li := range []int{len(levels) / 2, (2 * len(levels)) / 3} {
-		if li < 0 || li >= len(levels) {
-			continue
-		}
-		slopes := levels[li]
-		if len(slopes) == 0 {
-			continue
-		}
-		ub := math.Inf(-1)
-		for _, alt := range norm.Alternatives {
-			var chainUB float64
-			for _, u := range alt.Units {
-				_, hi := unitBounds(u.Node, slopes)
-				chainUB += u.Weight * hi
-			}
-			if chainUB > ub {
-				ub = chainUB
-			}
-		}
-		if ub+pruneSafetyMargin < lb {
-			return true
-		}
+	fm := float64(m)
+	var v float64
+	if ratio <= 1+1e-9 {
+		// The 1e-6 headroom covers sub-1e-9 gap wobble from float noise in
+		// the normalized grid.
+		v = 6 * math.Floor(fm*fm/4) / (fm * (fm*fm - 1)) * (1 + 1e-6)
+	} else if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
+		return 1
+	} else {
+		u := fm - math.Ceil((fm-1)/(2*ratio))
+		v = 6 * ratio * ratio * u * (u + 1) / (fm * (fm*fm - 1))
 	}
-	return false
+	if !(v < 1) {
+		return 1
+	}
+	return v
 }
 
-// unitBounds computes [lo, hi] bounds on a unit's score from per-level node
-// slopes: Table 7 for simple pattern segments, Property 5.1 composition for
-// operators, and the trivial [−1, 1] for constructs whose score is not
-// slope-determined (quantifiers, iterators, sketches, UDPs, references).
-func unitBounds(n *shape.Node, slopes []float64) (float64, float64) {
+// soundSlopeInterval returns an interval provably containing the fitted
+// slope of every valid contiguous range of at least m points: convex
+// combinations of the chart's adjacent-pair slopes with per-pair weight at
+// most maxSlopeWeight(m) are maximized (minimized) by stacking the cap on
+// the largest (smallest) slopes.
+func soundSlopeInterval(ps *pruneStats, m int) (sLo, sHi float64) {
+	vmax := maxSlopeWeight(m, ps.ratio)
+	return cappedExtreme(ps, vmax, false), cappedExtreme(ps, vmax, true)
+}
+
+// cappedExtreme stacks weight vmax on the largest (hi) or smallest (!hi)
+// adjacent slopes until the unit budget runs out; the remainder lands on
+// the next slope in line. When the budget outruns the stored extremes
+// (fewer pairs than the cap needs, or a width floor beyond the memo's
+// horizon), the leftover parks on the last stored extreme — an outward
+// error that loosens the bound but keeps it sound.
+func cappedExtreme(ps *pruneStats, vmax float64, hi bool) float64 {
+	sel, prefix := ps.low, ps.lowPrefix
+	if hi {
+		sel, prefix = ps.high, ps.highPrefix
+	}
+	full := int(1 / vmax)
+	if max := len(sel) - 1; full > max {
+		full = max
+	}
+	rem := 1 - float64(full)*vmax
+	return vmax*prefix[full] + rem*sel[full]
+}
+
+// soundUpperBound returns a provable upper bound on the candidate's query
+// score under the pipeline's solvers: per alternative, the chain's pinned
+// anchors and fuzzy runs are reconstructed exactly as solveChain assigns
+// them, each fuzzy run's minimum unit width feeds soundSlopeInterval, and
+// per-unit bounds compose through unitBounds into the chain's weighted sum
+// (weights sum to 1, so the chain bound is also ≥ the −1 of an infeasible
+// segmentation). All state lives on the memoized Viz (pruneSlopeStats) and
+// the worker's pooled evalCtx — the check allocates nothing in steady
+// state.
+func soundUpperBound(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options) float64 {
+	ps := v.pruneSlopeStats()
+	if ps.nPairs == 0 {
+		return math.Inf(1) // no valid pair: nothing to bound, never prune
+	}
+	n := v.N()
+	tolX := 1.5 * (v.Series.X[n-1] - v.Series.X[0]) / float64(n-1)
+	// mayFail: evaluation paths that can force −1 below any slope-derived
+	// minimum (skip-mask hits, duplicate-x degenerate fits). The upper
+	// bound is unaffected; only NOT's use of the lower bound needs it.
+	mayFail := v.Skipped != nil || math.IsInf(ps.ratio, 1)
+	ub := math.Inf(-1)
+	for _, alt := range norm.Alternatives {
+		k := len(alt.Units)
+		pinS := growInts(&ec.ubPinS, k)
+		pinE := growInts(&ec.ubPinE, k)
+		pinBad := growBools(&ec.ubPinBad, k)
+		for t, u := range alt.Units {
+			pinS[t], pinE[t], pinBad[t] = -1, -1, false
+			if x, ok := u.PinnedStart(); ok {
+				if x < v.Series.X[0]-tolX || x > v.Series.X[n-1]+tolX {
+					pinBad[t] = true
+				} else {
+					pinS[t] = v.indexOfX(x)
+				}
+			}
+			if x, ok := u.PinnedEnd(); ok {
+				if x < v.Series.X[0]-tolX || x > v.Series.X[n-1]+tolX {
+					pinBad[t] = true
+				} else {
+					pinE[t] = v.indexAtOrBefore(x)
+				}
+			}
+			if pinS[t] >= 0 && pinE[t] >= 0 && pinE[t] <= pinS[t] {
+				pinBad[t] = true
+			}
+		}
+		// anchored mirrors compiledUnit.pinned(): both indices resolved,
+		// even when the pin is erroneous — solveChain anchors those too.
+		anchored := func(t int) bool { return pinS[t] >= 0 && pinE[t] >= 0 }
+		var chainUB float64
+		t := 0
+		for t < k {
+			if anchored(t) {
+				var hi float64
+				switch {
+				case pinBad[t]:
+					hi = score.WorstScore // unitScore is −1 on pin errors
+				default:
+					if s, ok := v.rangeSlope(pinS[t], pinE[t]); ok {
+						_, hi = unitBounds(alt.Units[t].Node, s, s, mayFail)
+					} else {
+						_, hi = unitBounds(alt.Units[t].Node, math.Inf(-1), math.Inf(1), true)
+					}
+				}
+				chainUB += alt.Units[t].Weight * hi
+				t++
+				continue
+			}
+			// Maximal fuzzy run [t, t2] and its window, as in solveChain.
+			t2 := t
+			for t2+1 < k && !anchored(t2+1) {
+				t2++
+			}
+			lo := 0
+			if t > 0 {
+				lo = pinE[t-1]
+			}
+			hiIdx := n - 1
+			if t2+1 < k {
+				if pinBad[t2+1] {
+					hiIdx = lo // solveChain forces the run infeasible
+				} else {
+					hiIdx = pinS[t2+1]
+				}
+			}
+			kRun := t2 - t + 1
+			if hiIdx-lo < kRun {
+				for ; t <= t2; t++ {
+					chainUB += alt.Units[t].Weight * score.WorstScore
+				}
+				continue
+			}
+			span := minSpanWidth(o, n, kRun, lo, hiIdx)
+			sLo, sHi := soundSlopeInterval(ps, span+1)
+			for ; t <= t2; t++ {
+				if pinBad[t] {
+					// A half-pinned unit whose pin failed scores −1 on
+					// every range.
+					chainUB += alt.Units[t].Weight * score.WorstScore
+					continue
+				}
+				_, hi := unitBounds(alt.Units[t].Node, sLo, sHi, mayFail)
+				chainUB += alt.Units[t].Weight * hi
+			}
+		}
+		if chainUB > ub {
+			ub = chainUB
+		}
+	}
+	return ub
+}
+
+// unitBounds bounds a unit's score given that any range the unit may cover
+// has a fitted slope inside [sLo, sHi]: score.BoundsInterval for simple
+// pattern segments, Property 5.1 composition for operators, and the trivial
+// [−1, 1] for constructs whose score is not slope-determined (quantifiers,
+// iterators, sketches, UDPs, references). The lower bound exists for NOT
+// composition (NOT's upper bound is the negated child lower bound) and is
+// forced to −1 whenever an evaluation-failure path (skip mask, location
+// violation, degenerate fit) could undercut the slope-derived minimum.
+func unitBounds(n *shape.Node, sLo, sHi float64, mayFail bool) (float64, float64) {
 	switch n.Kind {
 	case shape.NodeSegment:
 		seg := n.Seg
@@ -97,25 +268,26 @@ func unitBounds(n *shape.Node, slopes []float64) (float64, float64) {
 			seg.Pat.Kind == shape.PatUDP || seg.Pat.Kind == shape.PatNested {
 			return score.WorstScore, score.BestScore
 		}
+		var lo, hi float64
 		switch seg.Pat.Kind {
 		case shape.PatUp, shape.PatDown, shape.PatFlat, shape.PatSlope:
-			if seg.Mod.Kind != shape.ModNone {
-				// Sharp/gradual modifiers reshape the slope→score map;
-				// stay conservative.
-				return score.WorstScore, score.BestScore
-			}
-			return score.Bounds(seg.Pat.Kind, seg.Pat.Slope, slopes)
+			lo, hi = score.BoundsInterval(seg.Pat.Kind, seg.Mod.Kind, seg.Pat.Slope, sLo, sHi)
 		case shape.PatAny, shape.PatNone:
-			return score.BestScore, score.BestScore
+			lo, hi = score.BestScore, score.BestScore
 		case shape.PatEmpty:
 			return score.WorstScore, score.WorstScore
 		default:
 			return score.WorstScore, score.BestScore
 		}
+		loc := seg.Loc
+		if mayFail || loc.XS.Set || loc.XE.Set || loc.YS.Set || loc.YE.Set {
+			lo = score.WorstScore
+		}
+		return lo, hi
 	case shape.NodeAnd:
 		lo, hi := score.BestScore, score.BestScore
 		for _, c := range n.Children {
-			clo, chi := unitBounds(c, slopes)
+			clo, chi := unitBounds(c, sLo, sHi, mayFail)
 			if clo < lo {
 				lo = clo
 			}
@@ -127,7 +299,7 @@ func unitBounds(n *shape.Node, slopes []float64) (float64, float64) {
 	case shape.NodeOr:
 		lo, hi := score.WorstScore, score.WorstScore
 		for _, c := range n.Children {
-			clo, chi := unitBounds(c, slopes)
+			clo, chi := unitBounds(c, sLo, sHi, mayFail)
 			if clo > lo {
 				lo = clo
 			}
@@ -137,7 +309,7 @@ func unitBounds(n *shape.Node, slopes []float64) (float64, float64) {
 		}
 		return lo, hi
 	case shape.NodeNot:
-		clo, chi := unitBounds(n.Children[0], slopes)
+		clo, chi := unitBounds(n.Children[0], sLo, sHi, mayFail)
 		return -chi, -clo
 	default:
 		return score.WorstScore, score.BestScore

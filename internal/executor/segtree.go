@@ -253,41 +253,3 @@ func appendBreaksToRanges(ranges [][2]int, lo, hi int, breaks []int) [][2]int {
 	}
 	return append(ranges, [2]int{start, hi})
 }
-
-// levelSlopes returns, for each SegmentTree level from the leaves upward,
-// the fitted slopes of every node range at that level. The two-stage
-// pruning uses these with the Table 7 bounds. Levels with a single node
-// stop the ladder (that node is the root).
-func levelSlopes(ce *chainEval, lo, hi int) [][]float64 {
-	cands := candidates(lo, hi, ce.opts.Stride)
-	if len(cands) < 2 {
-		return nil
-	}
-	type rng struct{ lo, hi int }
-	cur := make([]rng, 0, len(cands)-1)
-	for i := 0; i+1 < len(cands); i++ {
-		cur = append(cur, rng{cands[i], cands[i+1]})
-	}
-	var levels [][]float64
-	for {
-		slopes := make([]float64, 0, len(cur))
-		for _, r := range cur {
-			if s, ok := ce.viz.rangeSlope(r.lo, r.hi); ok {
-				slopes = append(slopes, s)
-			}
-		}
-		levels = append(levels, slopes)
-		if len(cur) == 1 {
-			break
-		}
-		next := make([]rng, 0, (len(cur)+1)/2)
-		for i := 0; i+1 < len(cur); i += 2 {
-			next = append(next, rng{cur[i].lo, cur[i+1].hi})
-		}
-		if len(cur)%2 == 1 {
-			next = append(next, cur[len(cur)-1])
-		}
-		cur = next
-	}
-	return levels
-}

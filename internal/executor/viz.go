@@ -44,6 +44,28 @@ type Viz struct {
 	yLo, yHi float64
 	amp      float64
 	skipPre  []int
+
+	// Sound-pruning-bound inputs, memoized separately (only pruned
+	// searches pay for them): see pruneSlopeStats.
+	pruneOnce sync.Once
+	pstats    pruneStats
+}
+
+// pruneStats is the per-visualization state the sound pruning bound reads:
+// the R most extreme adjacent-pair slopes from each end with prefix sums
+// (for O(1) capped-extreme evaluation at any weight cap), and the
+// adjacent-gap irregularity ratio of the normalized grid. R covers the
+// weight budget of the default width floor; should a run's cap need deeper
+// slopes (a larger MinSegmentFrac), cappedExtreme parks the leftover
+// budget on the last stored extreme, which errs outward — looser, never
+// unsound.
+type pruneStats struct {
+	nPairs     int
+	low        []float64 // smallest slopes, ascending
+	lowPrefix  []float64 // lowPrefix[i] = Σ low[:i]
+	high       []float64 // largest slopes, descending
+	highPrefix []float64 // highPrefix[i] = Σ high[:i]
+	ratio      float64   // max/min adjacent NX gap over valid pairs (+Inf when degenerate)
 }
 
 // N reports the number of points.
@@ -179,6 +201,93 @@ func (v *Viz) memoize() {
 			v.skipPre = pre
 		}
 	})
+}
+
+// pruneSlopeStats fills and returns the sound pruning bound's per-viz
+// inputs exactly once (safe across concurrent workers). Pairs touching
+// skipped points are excluded — no valid unit range can contain them, so
+// they cannot influence any fitted slope the bound must cover.
+func (v *Viz) pruneSlopeStats() *pruneStats {
+	v.pruneOnce.Do(func() {
+		n := v.N()
+		// R extremes per end cover the capped-weight budget of the default
+		// width floor (≈ m/1.5 slopes for m = 0.05·n points, see
+		// maxSlopeWeight); +2 absorbs rounding.
+		r := (n-1)/30 + 2
+		low := make([]float64, 0, r)
+		high := make([]float64, 0, r)
+		dMin, dMax := math.Inf(1), math.Inf(-1)
+		pairs := 0
+		for i := 0; i+1 < n; i++ {
+			if v.Skipped != nil && (v.Skipped[i] || v.Skipped[i+1]) {
+				continue
+			}
+			s, ok := v.rangeSlope(i, i+1)
+			if !ok {
+				continue
+			}
+			pairs++
+			low = insertAsc(low, r, s)
+			high = insertDesc(high, r, s)
+			d := v.NX[i+1] - v.NX[i]
+			if d < dMin {
+				dMin = d
+			}
+			if d > dMax {
+				dMax = d
+			}
+		}
+		lowPrefix := make([]float64, len(low)+1)
+		highPrefix := make([]float64, len(high)+1)
+		for i, s := range low {
+			lowPrefix[i+1] = lowPrefix[i] + s
+		}
+		for i, s := range high {
+			highPrefix[i+1] = highPrefix[i] + s
+		}
+		ratio := math.Inf(1)
+		if dMin > 0 {
+			ratio = dMax / dMin
+		}
+		v.pstats = pruneStats{nPairs: pairs, low: low, lowPrefix: lowPrefix, high: high, highPrefix: highPrefix, ratio: ratio}
+	})
+	return &v.pstats
+}
+
+// insertAsc maintains the r smallest values seen, ascending.
+func insertAsc(sel []float64, r int, s float64) []float64 {
+	if len(sel) == r {
+		if s >= sel[r-1] {
+			return sel
+		}
+		sel = sel[:r-1]
+	}
+	i := len(sel)
+	sel = append(sel, s)
+	for i > 0 && sel[i-1] > s {
+		sel[i] = sel[i-1]
+		i--
+	}
+	sel[i] = s
+	return sel
+}
+
+// insertDesc maintains the r largest values seen, descending.
+func insertDesc(sel []float64, r int, s float64) []float64 {
+	if len(sel) == r {
+		if s <= sel[r-1] {
+			return sel
+		}
+		sel = sel[:r-1]
+	}
+	i := len(sel)
+	sel = append(sel, s)
+	for i > 0 && sel[i-1] < s {
+		sel[i] = sel[i-1]
+		i--
+	}
+	sel[i] = s
+	return sel
 }
 
 // yRange reports the min and max of the raw y values (memoized).

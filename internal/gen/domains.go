@@ -195,3 +195,72 @@ func Cities(numCities, months int, seed int64) *dataset.Table {
 	}
 	return tbl
 }
+
+// DriftPeaks synthesizes a "separated" exploration corpus: columns series,
+// t, v. The bulk is monotone drifts (half rising, half falling) with mild
+// curvature and little noise; roughly one series in eight is a planted
+// zigzag (steep rise-fall-rise-fall legs) scattered at random positions.
+// Queries like "u ; d ; u ; d" have a top-k floor set by the zigzags that
+// clearly separates from the bulk, which is the regime where lossless
+// pruning can skip most of the collection: a drifting chart provably lacks
+// half of the query's trends, so its sound score upper bound falls below
+// the floor.
+func DriftPeaks(numSeries, points int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	var zs []string
+	var xs, ys []float64
+	for s := 0; s < numSeries; s++ {
+		var name string
+		trend := make([]float64, points)
+		if rng.Float64() < 0.12 {
+			name = fmt.Sprintf("zigzag%03d", s)
+			// Four steep legs (u, d, u, d) with randomized break points,
+			// each leg at least ~15% of the chart.
+			jitter := points / 8
+			if jitter < 1 {
+				jitter = 1
+			}
+			legs := [3]int{}
+			legs[0] = points/4 + rng.Intn(jitter) - jitter/2
+			legs[1] = points/2 + rng.Intn(jitter) - jitter/2
+			legs[2] = 3*points/4 + rng.Intn(jitter) - jitter/2
+			dir, y := 1.0, 0.0
+			next := 0
+			for i := range trend {
+				if next < 3 && i == legs[next] {
+					dir, next = -dir, next+1
+				}
+				y += dir * (1 + rng.Float64()*0.1)
+				trend[i] = y
+			}
+		} else {
+			name = fmt.Sprintf("drift%03d", s)
+			slope := (0.5 + rng.Float64()) * float64(1-2*(s%2))
+			curve := rng.NormFloat64() * 0.05 * float64(points)
+			freq := 0.25 + rng.Float64()*0.5
+			phase := rng.Float64() * 6
+			for i := range trend {
+				t := float64(i) / float64(points-1)
+				trend[i] = slope*float64(points)*t + curve*math.Sin(2*math.Pi*freq*t+phase)
+			}
+		}
+		amp := amplitude(trend)
+		if amp == 0 {
+			amp = 1
+		}
+		for i := 0; i < points; i++ {
+			zs = append(zs, name)
+			xs = append(xs, float64(i))
+			ys = append(ys, trend[i]/amp+rng.NormFloat64()*0.0005)
+		}
+	}
+	tbl, err := dataset.New(
+		dataset.Column{Name: "series", Type: dataset.String, Strings: zs},
+		dataset.Column{Name: "t", Type: dataset.Float, Floats: xs},
+		dataset.Column{Name: "v", Type: dataset.Float, Floats: ys},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}

@@ -203,3 +203,25 @@ func TestLuminosityAndCities(t *testing.T) {
 		t.Fatal("expected southern-hemisphere cities")
 	}
 }
+
+func TestDriftPeaks(t *testing.T) {
+	tbl := DriftPeaks(120, 64, 5)
+	series, err := dataset.Extract(tbl, dataset.ExtractSpec{Z: "series", X: "t", Y: "v"})
+	if err != nil || len(series) != 120 {
+		t.Fatalf("series = %d, err %v", len(series), err)
+	}
+	zigzags := 0
+	for _, s := range series {
+		if s.Len() != 64 {
+			t.Fatalf("%s has %d points, want 64", s.Z, s.Len())
+		}
+		if len(s.Z) >= 6 && s.Z[:6] == "zigzag" {
+			zigzags++
+		}
+	}
+	// ~12% planted zigzags: enough to fill a K=10 floor, rare enough that
+	// pruning the drifting bulk is the dominant saving.
+	if zigzags < 5 || zigzags > 40 {
+		t.Fatalf("zigzags = %d, want a sparse planted minority", zigzags)
+	}
+}

@@ -255,42 +255,66 @@ func PositiveRunsInto(runs [][2]int, scores []float64, threshold float64) [][2]i
 	return runs
 }
 
-// Bounds implements Table 7: the tightest interval guaranteed to contain the
-// root-level score of a simple-pattern ShapeSegment, given the fitted slopes
-// of all SegmentTree nodes at one level. For up/down the root score lies
-// between the min and max node score; for flat and θ=x the upper bound is
-// only valid when all node slopes sit on one side of the target, otherwise
-// it is 1 (the maximum possible value).
+// Bounds implements Table 7 in its set form: the tightest interval
+// guaranteed to contain the score of a simple-pattern ShapeSegment whose
+// fitted slope lies among (or between) the given slopes. It reduces to
+// BoundsInterval over the slope extremes: for up/down the score lies
+// between the min and max slope score; for flat and θ=x the upper bound is
+// only valid when all slopes sit on one side of the target, otherwise it is
+// 1 (the maximum possible value).
 func Bounds(kind shape.PatternKind, targetDeg float64, slopes []float64) (lo, hi float64) {
 	if len(slopes) == 0 {
 		return WorstScore, BestScore
 	}
-	lo, hi = math.Inf(1), math.Inf(-1)
-	allAbove, allBelow := true, true
-	var pivot float64
+	sLo, sHi := slopes[0], slopes[0]
+	for _, s := range slopes[1:] {
+		if s < sLo {
+			sLo = s
+		}
+		if s > sHi {
+			sHi = s
+		}
+	}
+	return BoundsInterval(kind, shape.ModNone, targetDeg, sLo, sHi)
+}
+
+// BoundsInterval bounds the score of a simple-pattern ShapeSegment whose
+// fitted slope is only known to lie in [sLo, sHi] (the interval form of the
+// Table 7 bounds, with MODIFIER support). Sharp/gradual modifiers rescale
+// the slope before scoring (see Modified) and the rescaling is monotone, so
+// the interval maps through it exactly. For flat and θ=x the score is not
+// monotone in the slope: when the pattern's pivot slope falls inside the
+// interval the upper bound is 1, otherwise both bounds come from the
+// interval's endpoints. Quantified patterns and kinds whose score is not
+// slope-determined are NOT handled here — callers must stay conservative
+// for those.
+func BoundsInterval(kind shape.PatternKind, mod shape.ModifierKind, targetDeg, sLo, sHi float64) (lo, hi float64) {
+	if sLo > sHi {
+		sLo, sHi = sHi, sLo
+	}
+	// Map the slope interval through the modifier's monotone rescaling so
+	// the endpoint evaluation below sees the effective slopes.
+	switch mod {
+	case shape.ModMuchMore, shape.ModMuchLess:
+		sLo, sHi = sLo/SharpnessFactor, sHi/SharpnessFactor
+	case shape.ModMore, shape.ModLess:
+		sLo, sHi = sLo*SharpnessFactor, sHi*SharpnessFactor
+	case shape.ModNone:
+	default:
+		// Positional/quantifier modifiers reshape the score beyond a slope
+		// rescaling; stay conservative.
+		return WorstScore, BestScore
+	}
+	a := ForKind(kind, sLo, targetDeg)
+	b := ForKind(kind, sHi, targetDeg)
+	lo, hi = math.Min(a, b), math.Max(a, b)
 	switch kind {
 	case shape.PatFlat:
-		pivot = 0
+		if sLo <= 0 && 0 <= sHi {
+			hi = BestScore
+		}
 	case shape.PatSlope:
-		pivot = math.Tan(targetDeg * math.Pi / 180)
-	}
-	for _, s := range slopes {
-		sc := ForKind(kind, s, targetDeg)
-		if sc < lo {
-			lo = sc
-		}
-		if sc > hi {
-			hi = sc
-		}
-		if s <= pivot {
-			allAbove = false
-		}
-		if s >= pivot {
-			allBelow = false
-		}
-	}
-	if kind == shape.PatFlat || kind == shape.PatSlope {
-		if !allAbove && !allBelow {
+		if pivot := math.Tan(targetDeg * math.Pi / 180); sLo <= pivot && pivot <= sHi {
 			hi = BestScore
 		}
 	}

@@ -404,3 +404,57 @@ func TestClamp(t *testing.T) {
 		t.Error("Clamp broken")
 	}
 }
+
+// TestBoundsIntervalModifiers: sharp/gradual modifiers rescale the slope
+// before scoring; the interval bound must map through that rescaling
+// exactly, and unknown modifiers must stay conservative.
+func TestBoundsIntervalModifiers(t *testing.T) {
+	lo, hi := BoundsInterval(shape.PatUp, shape.ModMuchMore, 0, -1, 2)
+	if want := Up(-1.0 / SharpnessFactor); lo != want {
+		t.Errorf("sharp up lo = %v, want %v", lo, want)
+	}
+	if want := Up(2.0 / SharpnessFactor); hi != want {
+		t.Errorf("sharp up hi = %v, want %v", hi, want)
+	}
+	lo, hi = BoundsInterval(shape.PatDown, shape.ModMore, 0, -1, 2)
+	if want := Down(2.0 * SharpnessFactor); lo != want {
+		t.Errorf("gradual down lo = %v, want %v", lo, want)
+	}
+	if want := Down(-1.0 * SharpnessFactor); hi != want {
+		t.Errorf("gradual down hi = %v, want %v", hi, want)
+	}
+	// A sharp flat's pivot is unchanged by rescaling: straddling zero still
+	// forces the upper bound to 1.
+	if _, hi := BoundsInterval(shape.PatFlat, shape.ModMuchMore, 0, -0.1, 0.1); hi != 1 {
+		t.Errorf("sharp flat straddling zero hi = %v, want 1", hi)
+	}
+	// Modifiers that are not slope rescalings stay at the trivial bounds.
+	if lo, hi := BoundsInterval(shape.PatUp, shape.ModEqual, 0, -1, 2); lo != WorstScore || hi != BestScore {
+		t.Errorf("non-rescaling modifier bounds = [%v, %v], want [-1, 1]", lo, hi)
+	}
+}
+
+// TestBoundsIntervalMatchesSetForm: the legacy slope-set Bounds must agree
+// with BoundsInterval over the set's extremes — they are the same Table 7
+// statement.
+func TestBoundsIntervalMatchesSetForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kinds := []shape.PatternKind{shape.PatUp, shape.PatDown, shape.PatFlat, shape.PatSlope}
+	for trial := 0; trial < 200; trial++ {
+		slopes := make([]float64, 2+rng.Intn(6))
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i := range slopes {
+			slopes[i] = rng.NormFloat64() * 3
+			mn = math.Min(mn, slopes[i])
+			mx = math.Max(mx, slopes[i])
+		}
+		target := rng.NormFloat64() * 40
+		for _, kind := range kinds {
+			slo, shi := Bounds(kind, target, slopes)
+			ilo, ihi := BoundsInterval(kind, shape.ModNone, target, mn, mx)
+			if slo != ilo || shi != ihi {
+				t.Fatalf("%v: set form [%v, %v] != interval form [%v, %v]", kind, slo, shi, ilo, ihi)
+			}
+		}
+	}
+}
