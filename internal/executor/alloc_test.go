@@ -47,8 +47,8 @@ func TestSteadyStateAllocs(t *testing.T) {
 		// The pruned pipeline's per-candidate bound check must be free in
 		// steady state: slope stats are memoized on the Viz (filled during
 		// warm-up) and the pin/run scratch lives on the pooled evalCtx.
-		// Only per-run bookkeeping (slots, order, heaps, stage-1 sample)
-		// may allocate, and that is covered by the same budget.
+		// Only per-run bookkeeping (slots, order, heaps) may allocate,
+		// and that is covered by the same budget.
 		{"SegmentTreePruned", AlgSegmentTree, true}} {
 		t.Run(alg.name, func(t *testing.T) {
 			opts := seqOpts()

@@ -23,7 +23,7 @@ func TestRunContextPreCanceled(t *testing.T) {
 	if _, err := plan.RunContext(ctx, series); !errors.Is(err, context.Canceled) {
 		t.Fatalf("RunContext on canceled ctx = %v, want context.Canceled", err)
 	}
-	// The pruning pipeline's stage-1 sampling must also observe the context.
+	// The pruning pipeline's bounding pass must also observe the context.
 	opts := DefaultOptions()
 	opts.Pruning = true
 	opts.Algorithm = AlgSegmentTree

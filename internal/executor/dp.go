@@ -181,8 +181,9 @@ func dpRun(ce *chainEval, t1, t2, lo, hi int) runResult {
 
 func dpRunStride(ce *chainEval, t1, t2, lo, hi, stride int) runResult {
 	ctx := ce.ctx
-	ctx.dpCands = appendCandidates(ctx.dpCands[:0], lo, hi, stride)
-	cands := ctx.dpCands
+	// Cached per (lo, hi, stride): same-k alternatives and same-shape
+	// candidates share the grid (see gridCache).
+	cands := ctx.dpGrid.grid(lo, hi, stride)
 	m := len(cands)
 	k := t2 - t1 + 1
 	if m < 2 {

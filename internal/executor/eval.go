@@ -27,6 +27,11 @@ type chainEval struct {
 	// chosen; POSITION references read it during the re-scoring pass.
 	// nil during the search pass (references provisionally score 1).
 	refSlopes []float64
+	// sigs holds each unit's interned signature id for the per-candidate
+	// unit-score memo; nil disables memoization (chains compiled without
+	// plan metadata, nested sub-queries, units containing POSITION
+	// references carry −1 individually). See Options.chainMeta.
+	sigs []int
 	// tolX and tolY are the location-satisfaction tolerances.
 	tolX, tolY float64
 	// ampUnit is one standard deviation of the normalized y values (1.0
@@ -63,6 +68,14 @@ func compileChain(v *Viz, chain shape.Chain, opts *Options) (*chainEval, error) 
 // is skipped entirely — UDP resolution, nested sub-query normalization, and
 // iterator/sketch hoisting already happened once at plan compile time.
 func (ec *evalCtx) compile(v *Viz, chain shape.Chain, opts *Options) (*chainEval, error) {
+	return ec.compileAlt(v, chain, opts, nil)
+}
+
+// compileAlt is compile with the alternative's plan-compiled metadata: the
+// pinned x endpoints hoisted out of the per-candidate path (no per-unit
+// tree walks) and the signature ids that key the unit-score memo. A nil
+// altMeta falls back to walking the units, with memoization off.
+func (ec *evalCtx) compileAlt(v *Viz, chain shape.Chain, opts *Options, am *altMeta) (*chainEval, error) {
 	ce := &ec.ce
 	*ce = chainEval{ctx: ec, viz: v, chain: chain, opts: opts}
 	n := v.N()
@@ -72,22 +85,34 @@ func (ec *evalCtx) compile(v *Viz, chain shape.Chain, opts *Options) (*chainEval
 	lo, hi := v.yRange()
 	ce.tolY = 0.1*(hi-lo) + 1e-9
 	ce.ampUnit = v.ampUnit()
+	if am != nil {
+		ce.sigs = am.sigs
+	}
 	ec.units = ec.units[:0]
-	for _, u := range chain.Units {
+	for t, u := range chain.Units {
 		cu := compiledUnit{pinStart: -1, pinEnd: -1}
 		cu.unit = u
-		if x, ok := u.PinnedStart(); ok {
-			if x < v.Series.X[0]-ce.tolX || x > v.Series.X[n-1]+ce.tolX {
+		var xs, xe float64
+		var hasS, hasE bool
+		if am != nil {
+			p := &am.pins[t]
+			xs, hasS, xe, hasE = p.xs, p.hasS, p.xe, p.hasE
+		} else {
+			xs, hasS = u.PinnedStart()
+			xe, hasE = u.PinnedEnd()
+		}
+		if hasS {
+			if xs < v.Series.X[0]-ce.tolX || xs > v.Series.X[n-1]+ce.tolX {
 				cu.pinErr = true
 			} else {
-				cu.pinStart = v.indexOfX(x)
+				cu.pinStart = v.indexOfX(xs)
 			}
 		}
-		if x, ok := u.PinnedEnd(); ok {
-			if x < v.Series.X[0]-ce.tolX || x > v.Series.X[n-1]+ce.tolX {
+		if hasE {
+			if xe < v.Series.X[0]-ce.tolX || xe > v.Series.X[n-1]+ce.tolX {
 				cu.pinErr = true
 			} else {
-				cu.pinEnd = v.indexAtOrBefore(x)
+				cu.pinEnd = v.indexAtOrBefore(xe)
 			}
 		}
 		if cu.pinStart >= 0 && cu.pinEnd >= 0 && cu.pinEnd <= cu.pinStart {
@@ -149,10 +174,67 @@ func (ce *chainEval) anySkipped(i, j int) bool {
 }
 
 // unitScore scores unit t over the inclusive point range [i, j].
+//
+// For units carrying a signature id the result is memoized per candidate on
+// the context's scoreMemo: a unit's score is a pure function of its node
+// structure and the range (pins, tolerances and the skip mask all derive
+// from the same viz), so alternatives sharing a unit — or one chain using
+// the same pattern twice — compute each (signature, range) score once.
+// Units containing POSITION references are position-dependent and carry
+// signature −1 (never memoized); refSlopes-bound re-scoring is therefore
+// also safe to memoize, since non-POSITION scores ignore refSlopes.
 func (ce *chainEval) unitScore(t, i, j int) float64 {
 	if j <= i || i < 0 || j >= ce.viz.N() {
 		return score.WorstScore
 	}
+	sig := -1
+	if ce.sigs != nil {
+		sig = ce.sigs[t]
+	}
+	if sig < 0 {
+		return ce.unitScoreSlow(t, i, j)
+	}
+	// Bare-pattern units score straight off the shared range fit: one probe
+	// on the fit memo (shared across signatures — u and d over one range
+	// use the same fit and atan) and no per-signature score memo traffic.
+	// Bare patterns cannot carry pins, so only the skip mask forces the
+	// general path. The up/down/flat expressions are score.ForKindAngle's,
+	// unwrapped because that function exceeds the inlining budget and this
+	// is the kernel's hottest loop; they MUST stay bit-for-bit in lockstep
+	// with ForKindAngle or shared and naive evaluation diverge
+	// (TestSharedEvalMatchesNaive pins this).
+	meta := ce.opts.chainMeta
+	if fk := meta.sigFast[sig]; fk != shape.PatNone && ce.skippedPrefix == nil {
+		_, angle, ok := ce.ctx.fitMemo.fit(ce.viz, i, j)
+		if !ok {
+			return score.WorstScore
+		}
+		switch fk {
+		case shape.PatUp:
+			return 2 * angle / math.Pi
+		case shape.PatDown:
+			return -(2 * angle / math.Pi)
+		case shape.PatFlat:
+			return 1 - math.Abs(4*angle/math.Pi)
+		case shape.PatAny:
+			return score.BestScore
+		case shape.PatEmpty:
+			return score.WorstScore
+		default: // PatSlope
+			return score.ForKindAngle(fk, angle, meta.sigFastTarget[sig])
+		}
+	}
+	key := uint64(sig)<<48 | uint64(i)<<24 | uint64(j)
+	v, slot, ok := ce.ctx.memo.getSlot(key)
+	if ok {
+		return v
+	}
+	s := ce.unitScoreSlow(t, i, j)
+	ce.ctx.memo.putSlot(slot, key, s)
+	return s
+}
+
+func (ce *chainEval) unitScoreSlow(t, i, j int) float64 {
 	cu := &ce.units[t]
 	if cu.pinErr {
 		return score.WorstScore
@@ -315,6 +397,22 @@ func (ce *chainEval) evalPattern(cu *compiledUnit, n *shape.Node, t, i, j int) f
 	case shape.PatUp, shape.PatDown, shape.PatFlat, shape.PatSlope, shape.PatAny, shape.PatEmpty:
 		if seg.Mod.Kind == shape.ModQuantifier {
 			return ce.evalQuantifier(seg, i, j)
+		}
+		if ce.sigs != nil {
+			// Shared evaluation: one least-squares fit and one atan per
+			// range per candidate, shared across the patterns scored over
+			// it (ForKindAngle is bit-identical to the slope forms).
+			slope, angle, ok := ce.ctx.fitMemo.fit(v, i, j)
+			if !ok {
+				return score.WorstScore
+			}
+			switch seg.Mod.Kind {
+			case shape.ModMore, shape.ModMuchMore, shape.ModLess, shape.ModMuchLess:
+				base := func(s float64) float64 { return score.ForKind(seg.Pat.Kind, s, seg.Pat.Slope) }
+				return score.Modified(seg.Mod.Kind, base, slope)
+			default:
+				return score.ForKindAngle(seg.Pat.Kind, angle, seg.Pat.Slope)
+			}
 		}
 		slope, ok := v.rangeSlope(i, j)
 		if !ok {

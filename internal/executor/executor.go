@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 
 	"shapesearch/internal/dataset"
 	"shapesearch/internal/score"
@@ -92,8 +93,6 @@ type Options struct {
 	SketchConfig score.SketchConfig
 	// MaxExhaustivePoints caps AlgExhaustive input size (default 64).
 	MaxExhaustivePoints int
-	// SampleSize overrides the stage-1 pruning sample (default auto).
-	SampleSize int
 	// DTWBand is the Sakoe–Chiba band half-width for AlgDTW
 	// (default −1: unconstrained).
 	DTWBand int
@@ -114,6 +113,12 @@ type Options struct {
 	// compilation skips the validation walk (UDP resolution and nested
 	// normalization already ran once, plan-wide).
 	compiled bool
+	// chainMeta is the plan-wide alternative analysis (interned unit
+	// signatures, hoisted pins, k-grouped order, bound groups) driving
+	// shared-segmentation evaluation; nil for options built outside Compile,
+	// which fall back to the naive per-alternative loop. Read-only after
+	// Compile.
+	chainMeta *chainMeta
 	// pruneThresholdBias artificially inflates the stage-2 pruning
 	// threshold. Test-only: it forces over-pruning so the deferred
 	// verification stage's rescue path can be exercised deterministically;
@@ -238,17 +243,54 @@ func (o *Options) solver(norm shape.Normalized) (runSolver, error) {
 // alternative wins (OR distributes over per-alternative optimal
 // segmentation). The winning assignment is copied out of the context's
 // scratch — it outlives the next candidate.
+//
+// With a compiled plan (o.chainMeta non-nil) the alternatives are evaluated
+// under shared-segmentation: unit scores memoize per candidate by interned
+// signature, alternatives run in unit-count groups so each (viz, k) group
+// shares one candidate grid / SegmentTree skeleton, and chain compilation
+// reads hoisted pins. Every alternative still gets its own exact solve —
+// only repeated sub-computations are shared — and ties between alternatives
+// resolve to the earliest in declaration order, so the result is
+// byte-identical to the naive per-alternative loop (the meta-nil path,
+// pinned by TestSharedEvalMatchesNaive).
 func evalViz(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, solve runSolver) (float64, [][2]int, error) {
+	meta := o.chainMeta
 	best := math.Inf(-1)
 	var bestRanges [][2]int
-	for _, alt := range norm.Alternatives {
-		ce, err := ec.compile(v, alt, o)
+	if meta == nil {
+		for _, alt := range norm.Alternatives {
+			ce, err := ec.compile(v, alt, o)
+			if err != nil {
+				return 0, nil, err
+			}
+			res := solveChain(ce, solve)
+			if res.score > best {
+				best = res.score
+				bestRanges = append(bestRanges[:0], res.ranges...)
+			}
+		}
+		return best, bestRanges, nil
+	}
+	memoOK := meta.memoUsable(v.N())
+	if memoOK {
+		ec.memo.reset()
+		ec.fitMemo.reset()
+	}
+	bestAi := -1
+	for _, ai := range meta.order {
+		ce, err := ec.compileAlt(v, norm.Alternatives[ai], o, &meta.alts[ai])
 		if err != nil {
 			return 0, nil, err
 		}
+		if !memoOK {
+			ce.sigs = nil
+		}
 		res := solveChain(ce, solve)
-		if res.score > best {
+		// Scoring order is grouped by unit count, so the naive loop's
+		// first-wins tie rule becomes lowest-alternative-index-wins.
+		if res.score > best || (res.score == best && bestAi >= 0 && ai < bestAi) {
 			best = res.score
+			bestAi = ai
 			bestRanges = append(bestRanges[:0], res.ranges...)
 		}
 	}
@@ -268,20 +310,16 @@ func makeResult(v *Viz, sc float64, ranges [][2]int) Result {
 }
 
 // filterSeriesWithData keeps series that have at least one point inside
-// every pinned window (push-down (a), Section 5.4).
+// every pinned window (push-down (a), Section 5.4). Extraction emits X
+// sorted ascending, so the common path binary-searches each window; series
+// with unsorted X (hand-built inputs) fall back to a linear scan.
 func filterSeriesWithData(series []dataset.Series, ranges [][2]float64) []dataset.Series {
 	out := series[:0:0]
 	for _, s := range series {
+		sorted := sort.Float64sAreSorted(s.X)
 		keep := true
 		for _, r := range ranges {
-			found := false
-			for _, x := range s.X {
-				if x >= r[0] && x <= r[1] {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if !hasPointInRange(s.X, r, sorted) {
 				keep = false
 				break
 			}
@@ -291,6 +329,20 @@ func filterSeriesWithData(series []dataset.Series, ranges [][2]float64) []datase
 		}
 	}
 	return out
+}
+
+// hasPointInRange reports whether any x lies inside the inclusive window.
+func hasPointInRange(xs []float64, r [2]float64, sorted bool) bool {
+	if sorted {
+		i := sort.SearchFloat64s(xs, r[0])
+		return i < len(xs) && xs[i] <= r[1]
+	}
+	for _, x := range xs {
+		if x >= r[0] && x <= r[1] {
+			return true
+		}
+	}
+	return false
 }
 
 // xStep estimates the sampling interval of the data.

@@ -136,6 +136,7 @@ func Compile(q shape.Query, opts Options) (*Plan, error) {
 		o.sketchQY = sketchQY
 	}
 	o.compiled = true
+	o.chainMeta = buildChainMeta(norm)
 	return p, nil
 }
 
@@ -229,8 +230,8 @@ func (p *Plan) Search(src dataset.Source, spec dataset.ExtractSpec) ([]Result, e
 // SearchContext is Search with cooperative cancellation: once ctx is done,
 // workers stop pulling candidates, the pool drains, and the call returns
 // ctx.Err(). Cancellation is checked between candidates (and between
-// stage-1 samples), so an abandoned request frees its workers within one
-// candidate's scoring time.
+// bounding-pass candidates), so an abandoned request frees its workers
+// within one candidate's scoring time.
 func (p *Plan) SearchContext(ctx context.Context, src dataset.Source, spec dataset.ExtractSpec) ([]Result, error) {
 	// Extraction itself is not interruptible, but never start it for a
 	// request that is already dead — on large tables EXTRACT is the most
@@ -273,16 +274,40 @@ func (p *Plan) RunGroupedContext(ctx context.Context, vizs []*Viz) ([]Result, er
 }
 
 // sharedTopK is the mutex-guarded heap every pipeline worker feeds; its
-// floor (the current k-th best score) is the live pruning threshold.
+// floor (the current k-th best score) is the live pruning threshold. The
+// floor is additionally published as an atomic float64 bit pattern, updated
+// under the lock in add and read lock-free in the per-candidate hot path —
+// the floor is consulted once per candidate per worker, and a monotone,
+// possibly slightly stale threshold only affects how much is pruned, never
+// what the final top-k is (pruned candidates are verified against the exact
+// final floor).
 type sharedTopK struct {
-	mu   sync.Mutex
-	heap *topk.Heap[float64]
+	mu        sync.Mutex
+	heap      *topk.Heap[float64]
+	floorBits atomic.Uint64
+}
+
+func newSharedTopK(k int) *sharedTopK {
+	s := &sharedTopK{heap: topk.New[float64](k)}
+	// −Inf means "no floor yet": it never raises a pruning threshold.
+	s.floorBits.Store(math.Float64bits(math.Inf(-1)))
+	return s
 }
 
 func (s *sharedTopK) add(score float64) {
 	s.mu.Lock()
 	s.heap.Add(score, score)
+	if f, ok := s.heap.Floor(); ok {
+		s.floorBits.Store(math.Float64bits(f))
+	}
 	s.mu.Unlock()
+}
+
+// fastFloor returns the last published floor without locking (−Inf until
+// the heap fills). The floor only rises, so a stale read is merely a looser
+// threshold.
+func (s *sharedTopK) fastFloor() float64 {
+	return math.Float64frombits(s.floorBits.Load())
 }
 
 func (s *sharedTopK) floor() (float64, bool) {
@@ -347,11 +372,10 @@ func topKSlots(slots []slot, k int) []Result {
 // therefore identical — scores and ranking — to the unpruned scan: a
 // candidate absent from it either scored below the floor, or carried a
 // sound bound (hence an exact score) below the floor. The verification
-// stage normally re-scores nothing (the shared floor only rises, so a
-// pruned candidate's bound stays below the final floor); it turns a
-// stage-1 floor overshoot — coarse DP scores are achievable for the
-// optimal segmentation but not necessarily for the SegmentTree solver — or
-// any future bound regression into wasted work instead of a wrong answer.
+// stage normally re-scores nothing (the floor comes only from exact scores
+// and only rises, so a pruned candidate's bound stays below the final
+// floor); it exists so that any future bound regression degrades to wasted
+// work, never to a wrong answer.
 //
 // Determinism: workers fill per-index slots and the final top-k is selected
 // by (score, input index), so results are identical under any worker
@@ -399,31 +423,8 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 		abort.Store(true)
 	}
 
-	lb := math.Inf(-1)
-	if p.prune {
-		var sampled []*Viz
-		var err error
-		lb, sampled, err = p.sampleFloor(ctx, n, viz, workers, ecs, fail, &abort)
-		if err != nil {
-			return nil, err
-		}
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		// Stage 2 reuses the vizs stage 1 already grouped instead of
-		// running GROUP a second time over the sampled indices. The memo
-		// is write-free after this point, so workers read it lock-free.
-		inner := viz
-		viz = func(i int) *Viz {
-			if v := sampled[i]; v != nil {
-				return v
-			}
-			return inner(i)
-		}
-	}
-
 	slots := make([]slot, n)
-	shared := &sharedTopK{heap: topk.New[float64](o.K)}
+	shared := newSharedTopK(o.K)
 
 	// Bound-first ordering: with pruning on, every candidate is grouped and
 	// bounded up front (the bounds must be recorded anyway for the deferred
@@ -476,11 +477,12 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 			return
 		}
 		if p.prune {
-			threshold := lb
-			if f, ok := shared.floor(); ok && f > threshold {
-				threshold = f
-			}
-			threshold += o.pruneThresholdBias
+			// The floor is seeded by the bound-first scan itself: the first
+			// K exactly-scored candidates are the highest-bound ones, which
+			// is what the deleted stage-1 coarse sampling approximated at
+			// extra cost (it lost 3–50% end-to-end on every measured
+			// workload once this ordering existed).
+			threshold := shared.fastFloor() + o.pruneThresholdBias
 			if !math.IsInf(threshold, -1) && slots[i].ub < threshold {
 				return // stays recorded as pruned, with its bound
 			}
@@ -550,77 +552,6 @@ func (p *Plan) verifyPruned(ctx context.Context, workers int, ecs []*evalCtx, sl
 		}
 		slots[i] = slot{res: makeResult(slots[i].v, sc, ranges), ok: true}
 	})
-}
-
-// sampleFloor is stage 1 of the collective pruning (Section 6.3): a small,
-// uniformly chosen sample of visualizations is scored with a coarse-grained
-// DP. Each coarse score is achievable, hence a lower bound on that
-// visualization's optimal score, so the k-th best sampled score seeds the
-// shared pruning threshold before any exact scoring runs. The sample is
-// scored by the same worker count as stage 2; the floor is the k-th best
-// of a fixed set, so worker interleaving cannot change it. The returned
-// slice holds the grouped viz of every sampled index (distinct indices,
-// written by distinct workers, read-only afterwards) so stage 2 need not
-// group them again.
-func (p *Plan) sampleFloor(ctx context.Context, n int, viz func(int) *Viz, workers int, ecs []*evalCtx, fail func(error), abort *atomic.Bool) (float64, []*Viz, error) {
-	o := p.opts
-	grouped := make([]*Viz, n)
-	sample := o.SampleSize
-	if sample <= 0 {
-		sample = n / 20
-		if sample < 10 {
-			sample = 10
-		}
-	}
-	if sample > n {
-		sample = n
-	}
-	if sample <= 0 {
-		return math.Inf(-1), grouped, nil
-	}
-	step := n / sample
-	if step < 1 {
-		step = 1
-	}
-	var picks []int
-	for i := 0; i < n; i += step {
-		picks = append(picks, i)
-	}
-	stage1 := &sharedTopK{heap: topk.New[float64](o.K)}
-	score := func(ec *evalCtx, i int) {
-		if abort.Load() {
-			return
-		}
-		v := viz(i)
-		if v == nil {
-			return
-		}
-		grouped[i] = v
-		coarse := v.N() / 24
-		if coarse < 1 {
-			coarse = 1
-		}
-		sc, ok, err := coarseScore(ec, v, p.norm, o, coarse)
-		if err != nil {
-			// A compile error here would hit every candidate in stage 2
-			// too; failing fast keeps the stage-1 floor honest instead of
-			// silently weakening it. The caller reads the recorded error
-			// after this returns.
-			fail(err)
-			return
-		}
-		if ok {
-			stage1.add(sc)
-		}
-	}
-	err := forEachIndex(ctx, workers, len(picks), func(worker, k int) { score(ecs[worker], picks[k]) })
-	if err != nil {
-		return math.Inf(-1), grouped, err
-	}
-	if f, ok := stage1.floor(); ok {
-		return f, grouped, nil
-	}
-	return math.Inf(-1), grouped, nil
 }
 
 // forEachIndex runs fn over [0, n) on the given number of worker

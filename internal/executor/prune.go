@@ -8,24 +8,24 @@ import (
 )
 
 // The collective pruning of Section 6.3 lives in the unified Plan pipeline
-// (plan.go) as three stages:
+// (plan.go) as two stages (the paper's stage-1 coarse sampling was measured
+// redundant under the bound-first scan and deleted — the first K exactly
+// scored candidates are the highest-bound ones, which seed the floor better
+// than a coarse sample did and for free):
 //
-//   - Stage 1 (Plan.sampleFloor) seeds the shared top-k heap's floor from
-//     sampled coarse-grained scores. Coarse scores are achievable under the
-//     coarse DP but NOT necessarily under the SegmentTree solver that scores
-//     stage 2, so the seeded floor may overshoot the final top-k floor —
-//     stage 3 absorbs that.
-//   - Stage 2 runs inside every pipeline worker: soundUpperBound computes a
-//     provable upper bound on the candidate's query score, and the candidate
-//     is pruned when the bound falls below the live shared threshold. Pruned
-//     candidates are never discarded — the worker records them with their
-//     bounds in the result slots.
-//   - Stage 3 (deferred exact verification, Plan.run) re-scores, after the
-//     main pass, every pruned candidate whose recorded bound reaches the
-//     final top-k floor. A sound bound plus verification makes pruning
-//     lossless: a candidate missing from the final top-k either scored
-//     exactly below the floor, or carried a bound (hence an exact score)
-//     provably below it.
+//   - The bounding stage runs inside every pipeline worker: soundUpperBound
+//     computes a provable upper bound on the candidate's query score, the
+//     scoring pass visits candidates in descending-bound order, and a
+//     candidate is pruned when its bound falls below the live shared
+//     threshold (the exact floor of the scores so far). Pruned candidates
+//     are never discarded — the worker records them with their bounds in
+//     the result slots.
+//   - Deferred exact verification (Plan.run) re-scores, after the main
+//     pass, every pruned candidate whose recorded bound reaches the final
+//     top-k floor. A sound bound plus verification makes pruning lossless:
+//     a candidate missing from the final top-k either scored exactly below
+//     the floor, or carried a bound (hence an exact score) provably below
+//     it.
 //
 // This file keeps the bound machinery itself. Unlike the earlier Table 7
 // mid-tree-level heuristic (whose gap a fixed 0.05 safety margin papered
@@ -51,27 +51,6 @@ import (
 // within it. This is float hygiene, not a tuning margin — the bound itself
 // is sound.
 const boundEps = 1e-9
-
-// coarseScore runs the DP on a sub-sampled candidate grid in the worker's
-// evaluation context; the result is achievable under the coarse DP, hence a
-// lower bound on the optimal chain score. Compile errors propagate — a
-// silently-dropped sample would weaken the stage-1 floor.
-func coarseScore(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, stride int) (float64, bool, error) {
-	best := math.Inf(-1)
-	for _, alt := range norm.Alternatives {
-		ce, err := ec.compile(v, alt, o)
-		if err != nil {
-			return 0, false, err
-		}
-		res := solveChain(ce, func(ce *chainEval, t1, t2, lo, hi int) runResult {
-			return dpRunStride(ce, t1, t2, lo, hi, stride)
-		})
-		if res.score > best {
-			best = res.score
-		}
-	}
-	return best, !math.IsInf(best, -1), nil
-}
 
 // maxSlopeWeight bounds the convex weight any single adjacent-pair slope
 // can carry in the least-squares slope of a contiguous range of at least m
@@ -159,96 +138,187 @@ func soundUpperBound(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options) flo
 	// minimum (skip-mask hits, duplicate-x degenerate fits). The upper
 	// bound is unaffected; only NOT's use of the lower bound needs it.
 	mayFail := v.Skipped != nil || math.IsInf(ps.ratio, 1)
+	meta := o.chainMeta
+	// Per-candidate bound caches: the slope interval per width floor, the
+	// unit bound per (signature, width floor), and — for pin-free chains —
+	// the whole chain bound per distinct bound group, so alternatives with
+	// provably identical bounds (same unit-count and (signature, weight)
+	// multiset; the bound is order-free within a fuzzy run) derive it once.
+	ec.ubSpanKeys = ec.ubSpanKeys[:0]
+	ec.ubSpanLo = ec.ubSpanLo[:0]
+	ec.ubSpanHi = ec.ubSpanHi[:0]
+	ec.ubUnitKeys = ec.ubUnitKeys[:0]
+	ec.ubUnitHi = ec.ubUnitHi[:0]
+	if meta != nil && meta.nBoundGroups > 0 {
+		ec.ubChainUB = growFloats(&ec.ubChainUB, meta.nBoundGroups)
+		set := growBools(&ec.ubChainSet, meta.nBoundGroups)
+		for i := range set {
+			set[i] = false
+		}
+	}
 	ub := math.Inf(-1)
-	for _, alt := range norm.Alternatives {
-		k := len(alt.Units)
-		pinS := growInts(&ec.ubPinS, k)
-		pinE := growInts(&ec.ubPinE, k)
-		pinBad := growBools(&ec.ubPinBad, k)
-		for t, u := range alt.Units {
-			pinS[t], pinE[t], pinBad[t] = -1, -1, false
-			if x, ok := u.PinnedStart(); ok {
-				if x < v.Series.X[0]-tolX || x > v.Series.X[n-1]+tolX {
-					pinBad[t] = true
-				} else {
-					pinS[t] = v.indexOfX(x)
+	for ai, alt := range norm.Alternatives {
+		var am *altMeta
+		if meta != nil {
+			am = &meta.alts[ai]
+			if g := am.boundGroup; g >= 0 && ec.ubChainSet[g] {
+				if c := ec.ubChainUB[g]; c > ub {
+					ub = c
 				}
-			}
-			if x, ok := u.PinnedEnd(); ok {
-				if x < v.Series.X[0]-tolX || x > v.Series.X[n-1]+tolX {
-					pinBad[t] = true
-				} else {
-					pinE[t] = v.indexAtOrBefore(x)
-				}
-			}
-			if pinS[t] >= 0 && pinE[t] >= 0 && pinE[t] <= pinS[t] {
-				pinBad[t] = true
+				continue
 			}
 		}
-		// anchored mirrors compiledUnit.pinned(): both indices resolved,
-		// even when the pin is erroneous — solveChain anchors those too.
-		anchored := func(t int) bool { return pinS[t] >= 0 && pinE[t] >= 0 }
-		var chainUB float64
-		t := 0
-		for t < k {
-			if anchored(t) {
-				var hi float64
-				switch {
-				case pinBad[t]:
-					hi = score.WorstScore // unitScore is −1 on pin errors
-				default:
-					if s, ok := v.rangeSlope(pinS[t], pinE[t]); ok {
-						_, hi = unitBounds(alt.Units[t].Node, s, s, mayFail)
-					} else {
-						_, hi = unitBounds(alt.Units[t].Node, math.Inf(-1), math.Inf(1), true)
-					}
-				}
-				chainUB += alt.Units[t].Weight * hi
-				t++
-				continue
-			}
-			// Maximal fuzzy run [t, t2] and its window, as in solveChain.
-			t2 := t
-			for t2+1 < k && !anchored(t2+1) {
-				t2++
-			}
-			lo := 0
-			if t > 0 {
-				lo = pinE[t-1]
-			}
-			hiIdx := n - 1
-			if t2+1 < k {
-				if pinBad[t2+1] {
-					hiIdx = lo // solveChain forces the run infeasible
-				} else {
-					hiIdx = pinS[t2+1]
-				}
-			}
-			kRun := t2 - t + 1
-			if hiIdx-lo < kRun {
-				for ; t <= t2; t++ {
-					chainUB += alt.Units[t].Weight * score.WorstScore
-				}
-				continue
-			}
-			span := minSpanWidth(o, n, kRun, lo, hiIdx)
-			sLo, sHi := soundSlopeInterval(ps, span+1)
-			for ; t <= t2; t++ {
-				if pinBad[t] {
-					// A half-pinned unit whose pin failed scores −1 on
-					// every range.
-					chainUB += alt.Units[t].Weight * score.WorstScore
-					continue
-				}
-				_, hi := unitBounds(alt.Units[t].Node, sLo, sHi, mayFail)
-				chainUB += alt.Units[t].Weight * hi
-			}
+		chainUB := chainUpperBound(ec, v, alt, o, ps, am, tolX, mayFail)
+		if am != nil && am.boundGroup >= 0 {
+			ec.ubChainSet[am.boundGroup] = true
+			ec.ubChainUB[am.boundGroup] = chainUB
 		}
 		if chainUB > ub {
 			ub = chainUB
 		}
 	}
 	return ub
+}
+
+// chainUpperBound bounds one alternative, mirroring solveChain's anchor and
+// fuzzy-run reconstruction. am, when non-nil, supplies hoisted pins and
+// structural signature ids for the per-candidate caches.
+func chainUpperBound(ec *evalCtx, v *Viz, alt shape.Chain, o *Options, ps *pruneStats, am *altMeta, tolX float64, mayFail bool) float64 {
+	n := v.N()
+	k := len(alt.Units)
+	pinS := growInts(&ec.ubPinS, k)
+	pinE := growInts(&ec.ubPinE, k)
+	pinBad := growBools(&ec.ubPinBad, k)
+	for t, u := range alt.Units {
+		pinS[t], pinE[t], pinBad[t] = -1, -1, false
+		var xs, xe float64
+		var hasS, hasE bool
+		if am != nil {
+			p := &am.pins[t]
+			xs, hasS, xe, hasE = p.xs, p.hasS, p.xe, p.hasE
+		} else {
+			xs, hasS = u.PinnedStart()
+			xe, hasE = u.PinnedEnd()
+		}
+		if hasS {
+			if xs < v.Series.X[0]-tolX || xs > v.Series.X[n-1]+tolX {
+				pinBad[t] = true
+			} else {
+				pinS[t] = v.indexOfX(xs)
+			}
+		}
+		if hasE {
+			if xe < v.Series.X[0]-tolX || xe > v.Series.X[n-1]+tolX {
+				pinBad[t] = true
+			} else {
+				pinE[t] = v.indexAtOrBefore(xe)
+			}
+		}
+		if pinS[t] >= 0 && pinE[t] >= 0 && pinE[t] <= pinS[t] {
+			pinBad[t] = true
+		}
+	}
+	// anchored mirrors compiledUnit.pinned(): both indices resolved,
+	// even when the pin is erroneous — solveChain anchors those too.
+	anchored := func(t int) bool { return pinS[t] >= 0 && pinE[t] >= 0 }
+	var chainUB float64
+	t := 0
+	for t < k {
+		if anchored(t) {
+			var hi float64
+			switch {
+			case pinBad[t]:
+				hi = score.WorstScore // unitScore is −1 on pin errors
+			default:
+				if s, ok := v.rangeSlope(pinS[t], pinE[t]); ok {
+					_, hi = unitBounds(alt.Units[t].Node, s, s, mayFail)
+				} else {
+					_, hi = unitBounds(alt.Units[t].Node, math.Inf(-1), math.Inf(1), true)
+				}
+			}
+			chainUB += alt.Units[t].Weight * hi
+			t++
+			continue
+		}
+		// Maximal fuzzy run [t, t2] and its window, as in solveChain.
+		t2 := t
+		for t2+1 < k && !anchored(t2+1) {
+			t2++
+		}
+		lo := 0
+		if t > 0 {
+			lo = pinE[t-1]
+		}
+		hiIdx := n - 1
+		if t2+1 < k {
+			if pinBad[t2+1] {
+				hiIdx = lo // solveChain forces the run infeasible
+			} else {
+				hiIdx = pinS[t2+1]
+			}
+		}
+		kRun := t2 - t + 1
+		if hiIdx-lo < kRun {
+			for ; t <= t2; t++ {
+				chainUB += alt.Units[t].Weight * score.WorstScore
+			}
+			continue
+		}
+		span := minSpanWidth(o, n, kRun, lo, hiIdx)
+		sLo, sHi := ec.spanInterval(ps, span+1)
+		for ; t <= t2; t++ {
+			if pinBad[t] {
+				// A half-pinned unit whose pin failed scores −1 on
+				// every range.
+				chainUB += alt.Units[t].Weight * score.WorstScore
+				continue
+			}
+			bsig := -1
+			if am != nil {
+				bsig = am.bsigs[t]
+			}
+			chainUB += alt.Units[t].Weight * ec.unitHi(alt.Units[t].Node, bsig, span, sLo, sHi, mayFail)
+		}
+	}
+	return chainUB
+}
+
+// spanInterval is soundSlopeInterval cached per candidate by width floor.
+func (ec *evalCtx) spanInterval(ps *pruneStats, m int) (float64, float64) {
+	for i, key := range ec.ubSpanKeys {
+		if key == m {
+			return ec.ubSpanLo[i], ec.ubSpanHi[i]
+		}
+	}
+	sLo, sHi := soundSlopeInterval(ps, m)
+	if len(ec.ubSpanKeys) < 64 {
+		ec.ubSpanKeys = append(ec.ubSpanKeys, m)
+		ec.ubSpanLo = append(ec.ubSpanLo, sLo)
+		ec.ubSpanHi = append(ec.ubSpanHi, sHi)
+	}
+	return sLo, sHi
+}
+
+// unitHi is a fuzzy unit's upper bound cached per candidate by (structural
+// signature, width floor): the floor determines (sLo, sHi) and mayFail is
+// candidate-constant, so the key pins every input of unitBounds. bsig < 0
+// computes directly (chains compiled without plan metadata).
+func (ec *evalCtx) unitHi(nd *shape.Node, bsig, span int, sLo, sHi float64, mayFail bool) float64 {
+	var key uint64
+	if bsig >= 0 {
+		key = uint64(bsig)<<32 | uint64(uint32(span))
+		for i, k := range ec.ubUnitKeys {
+			if k == key {
+				return ec.ubUnitHi[i]
+			}
+		}
+	}
+	_, hi := unitBounds(nd, sLo, sHi, mayFail)
+	if bsig >= 0 && len(ec.ubUnitKeys) < 256 {
+		ec.ubUnitKeys = append(ec.ubUnitKeys, key)
+		ec.ubUnitHi = append(ec.ubUnitHi, hi)
+	}
+	return hi
 }
 
 // unitBounds bounds a unit's score given that any range the unit may cover

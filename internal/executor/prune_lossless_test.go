@@ -200,13 +200,12 @@ func TestDeferredVerificationRescues(t *testing.T) {
 	}
 }
 
-// TestCoarseScorePropagatesErrors: a chain-compile error during stage-1
-// coarse scoring must surface instead of being swallowed as "no score" —
-// a silently-dropped sample weakens the stage-1 floor. (Plan-compiled
-// options validate at Compile time, so this drives coarseScore directly
-// with uncompiled options, the path where per-chain validation still
-// runs.)
-func TestCoarseScorePropagatesErrors(t *testing.T) {
+// TestEvalVizPropagatesCompileErrors: a chain-compile error during scoring
+// must surface instead of being swallowed. (Plan-compiled options validate
+// at Compile time, so this drives evalViz directly with uncompiled options,
+// the path where per-chain validation still runs; stage-1 coarse scoring,
+// the old uncompiled path, was deleted with the sampling stage.)
+func TestEvalVizPropagatesCompileErrors(t *testing.T) {
 	v := group(mkSeries("s", 1, 2, 3, 4, 5, 4, 3, 2, 1), groupConfig{zNormalize: true})
 	q := regexlang.MustParse("[p{ghost}] ; d")
 	norm, err := shape.Normalize(q)
@@ -214,7 +213,7 @@ func TestCoarseScorePropagatesErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := seqOpts().normalized() // not plan-compiled: validation runs per chain
-	if _, _, err := coarseScore(newEvalCtx(), v, norm, o, 2); err == nil {
-		t.Fatal("coarseScore must propagate the unknown-UDP compile error")
+	if _, _, err := evalViz(newEvalCtx(), v, norm, o, treeRun); err == nil {
+		t.Fatal("evalViz must propagate the unknown-UDP compile error")
 	}
 }

@@ -31,14 +31,13 @@ func treeRun(ce *chainEval, t1, t2, lo, hi int) runResult {
 	if s := minSpan(ce, k, lo, hi); s > stride {
 		stride = s
 	}
-	ctx.treeCands = appendCandidates(ctx.treeCands[:0], lo, hi, stride)
-	cands := ctx.treeCands
-	// The stride grid can leave a final gap narrower than the width floor;
-	// merge it into the previous leaf so no leaf (hence no unit) violates
-	// the floor the other engines honor.
-	for len(cands) >= 3 && hi-cands[len(cands)-2] < stride {
-		cands = append(cands[:len(cands)-2], hi)
-	}
+	// The stride grid (with the trailing-gap merge folded in: a final gap
+	// narrower than the width floor merges into the previous leaf so no
+	// leaf violates the floor the other engines honor) is cached on the
+	// context keyed by (lo, hi, stride): every same-k alternative of this
+	// candidate — and every same-shape candidate after it — reuses the
+	// grid and the leaf skeleton it determines instead of rebuilding them.
+	cands := ctx.treeGrid.gridMerged(lo, hi, stride)
 	if len(cands) < 2 {
 		return infeasibleRunCtx(ctx, t1, t2, lo)
 	}
@@ -95,17 +94,15 @@ func refineBreaks(ce *chainEval, t1, lo, hi, leafWidth int, breaks []int, cur fl
 			}
 			wL := ce.chain.Units[t1+i].Weight
 			wR := ce.chain.Units[t1+i+1].Weight
-			local := func(b int) float64 {
-				return wL*ce.unitScore(t1+i, left, b) + wR*ce.unitScore(t1+i+1, b, right)
-			}
-			origS := local(breaks[i])
+			origS := wL*ce.unitScore(t1+i, left, breaks[i]) + wR*ce.unitScore(t1+i+1, breaks[i], right)
 			bestB, bestS := breaks[i], origS
 			loB, hiB := breaks[i]-leafWidth, breaks[i]+leafWidth
 			for b := loB; b <= hiB; b += fine {
 				if b == breaks[i] || b-left < span || right-b < span {
 					continue
 				}
-				if s := local(b); s > bestS {
+				s := wL*ce.unitScore(t1+i, left, b) + wR*ce.unitScore(t1+i+1, b, right)
+				if s > bestS {
 					bestB, bestS = b, s
 				}
 			}
@@ -175,25 +172,21 @@ func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
 			if units > p.leaves {
 				continue
 			}
-			var best *treeEntry
+			// Select the best split first (same comparison order and strict
+			// > as building eagerly, so the winning split is identical);
+			// materialize the entry and its break list exactly once.
+			bestScore := math.Inf(-1)
+			bestC := -1
+			bestShared := false
+			var bestMerged float64
+			found := false
 			for c := a; c <= b; c++ {
 				// Disjoint split: break at the child boundary.
 				if c < b {
 					le, re := l.entry(a, c), r.entry(c+1, b)
 					if le != nil && re != nil {
-						s := le.score + re.score
-						if best == nil || s > best.score {
-							breaks := ctx.treeInts.alloc(units - 1)
-							breaks = append(breaks, le.breaks...)
-							breaks = append(breaks, l.hi)
-							breaks = append(breaks, re.breaks...)
-							best = ctx.treeEntries.alloc()
-							*best = treeEntry{
-								score:      s,
-								breaks:     breaks,
-								firstScore: le.firstScore,
-								lastScore:  re.lastScore,
-							}
+						if s := le.score + re.score; !found || s > bestScore {
+							bestScore, bestC, bestShared, found = s, c, false, true
 						}
 					}
 				}
@@ -214,25 +207,36 @@ func combine(ce *chainEval, t1, k int, l, r *treeNode) *treeNode {
 				}
 				mergedScore := ce.unitScore(t1+c, mergedStart, mergedEnd)
 				s := le.score - w*le.lastScore + re.score - w*re.firstScore + w*mergedScore
-				if best == nil || s > best.score {
-					breaks := ctx.treeInts.alloc(units - 1)
-					breaks = append(breaks, le.breaks...)
-					breaks = append(breaks, re.breaks...)
-					first := le.firstScore
-					if a == c {
-						first = mergedScore
-					}
-					last := re.lastScore
-					if b == c {
-						last = mergedScore
-					}
-					best = ctx.treeEntries.alloc()
-					*best = treeEntry{score: s, breaks: breaks, firstScore: first, lastScore: last}
+				if !found || s > bestScore {
+					bestScore, bestC, bestShared, bestMerged, found = s, c, true, mergedScore, true
 				}
 			}
-			if best != nil && best.score > -math.MaxFloat64 {
-				p.setEntry(a, b, best)
+			if !found || !(bestScore > -math.MaxFloat64) {
+				continue
 			}
+			breaks := ctx.treeInts.alloc(units - 1)
+			best := ctx.treeEntries.alloc()
+			if bestShared {
+				le, re := l.entry(a, bestC), r.entry(bestC, b)
+				breaks = append(breaks, le.breaks...)
+				breaks = append(breaks, re.breaks...)
+				first := le.firstScore
+				if a == bestC {
+					first = bestMerged
+				}
+				last := re.lastScore
+				if b == bestC {
+					last = bestMerged
+				}
+				*best = treeEntry{score: bestScore, breaks: breaks, firstScore: first, lastScore: last}
+			} else {
+				le, re := l.entry(a, bestC), r.entry(bestC+1, b)
+				breaks = append(breaks, le.breaks...)
+				breaks = append(breaks, l.hi)
+				breaks = append(breaks, re.breaks...)
+				*best = treeEntry{score: bestScore, breaks: breaks, firstScore: le.firstScore, lastScore: re.lastScore}
+			}
+			p.setEntry(a, b, best)
 		}
 	}
 	return p

@@ -37,6 +37,7 @@ const (
 	tokAnd    // ⊙ or &
 	tokOr     // ⊕ or |
 	tokBang
+	tokQuestion
 	tokEq
 	tokGT
 	tokGTGT
@@ -78,6 +79,8 @@ func (k tokenKind) String() string {
 		return "OR"
 	case tokBang:
 		return "'!'"
+	case tokQuestion:
+		return "'?'"
 	case tokEq:
 		return "'='"
 	case tokGT:
@@ -207,6 +210,9 @@ func (l *lexer) next() (token, error) {
 	case '!':
 		l.pos++
 		return token{kind: tokBang, text: "!", pos: start}, nil
+	case '?':
+		l.pos++
+		return token{kind: tokQuestion, text: "?", pos: start}, nil
 	case '=':
 		l.pos++
 		return token{kind: tokEq, text: "=", pos: start}, nil

@@ -148,7 +148,19 @@ func (p *parser) parseUnary() (*shape.Node, error) {
 		}
 		return shape.Not(child), nil
 	}
-	return p.parsePrimary()
+	node, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// Postfix optional: u?, (u;d)? — the sub-shape may be absent, expanding
+	// the query into alternative chains with and without it.
+	for p.cur.kind == tokQuestion {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		node = shape.Optional(node)
+	}
+	return node, nil
 }
 
 func (p *parser) parsePrimary() (*shape.Node, error) {

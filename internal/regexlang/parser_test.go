@@ -300,3 +300,39 @@ func TestParseWhitespaceRobust(t *testing.T) {
 		t.Error("whitespace should not affect parsing")
 	}
 }
+
+func TestParseOptional(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"u?", "[p=up]?"},
+		{"u? ; d", "[p=up]?[p=down]"},
+		{"u?;d;u?;d;u?", "[p=up]?[p=down][p=up]?[p=down][p=up]?"},
+		{"(u;d)? ; f", "([p=up][p=down])?[p=flat]"},
+		{"[p=up, m=>>]? ; d", "[p=up, m=>>]?[p=down]"},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.in)
+		if got := q.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Canonical form reparses to the same tree.
+		rt := mustParse(t, q.String())
+		if !rt.Root.Equal(q.Root) {
+			t.Errorf("%q: canonical form %q does not round-trip", c.in, q.String())
+		}
+	}
+	// The expansion itself: u?;d yields the with- and without-u chains.
+	n, err := shape.Normalize(mustParse(t, "u? ; d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Alternatives) != 2 {
+		t.Fatalf("u?;d normalized to %d alternatives, want 2", len(n.Alternatives))
+	}
+	// A dangling ? with nothing to modify is a syntax error.
+	if _, err := Parse("? ; d"); err == nil {
+		t.Error("leading '?' must not parse")
+	}
+}

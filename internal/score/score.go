@@ -101,6 +101,37 @@ func ForKind(kind shape.PatternKind, slope, target float64) float64 {
 	}
 }
 
+// ForKindAngle is ForKind for an unmodified pattern given the precomputed
+// fitted angle atan(slope). Every Table 5 score is a function of that angle;
+// sharing it across the patterns evaluated over one range (the executor's
+// per-candidate fit memo) saves the dominant atan without changing a bit:
+// each case reproduces the exact operation sequence of its slope-based
+// counterpart after the atan.
+func ForKindAngle(kind shape.PatternKind, angle, target float64) float64 {
+	switch kind {
+	case shape.PatUp:
+		return 2 * angle / math.Pi
+	case shape.PatDown:
+		return -(2 * angle / math.Pi)
+	case shape.PatFlat:
+		return 1 - math.Abs(4*angle/math.Pi)
+	case shape.PatSlope:
+		t := target * math.Pi / 180
+		dev := math.Abs(angle - t)
+		maxDev := math.Pi/2 + math.Abs(t)
+		if maxDev == 0 {
+			return BestScore
+		}
+		return 1 - 2*dev/maxDev
+	case shape.PatAny, shape.PatNone:
+		return BestScore
+	case shape.PatEmpty:
+		return WorstScore
+	default:
+		return WorstScore
+	}
+}
+
 // Concat combines a sequence of sub-scores: the arithmetic mean (Table 6).
 func Concat(scores ...float64) float64 {
 	if len(scores) == 0 {

@@ -1,6 +1,9 @@
 package shape
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Unit is one CONCAT-free sub-expression of a normalized query, scored over
 // a single VisualSegment. Weight is the unit's share of the chain's weighted
@@ -101,6 +104,16 @@ func (n Normalized) MaxUnits() int {
 // chains. It returns an error for compositions the fuzzy engines cannot
 // segment (AND or OPPOSITE applied over CONCAT chains), which the paper's
 // algebra never produces either.
+//
+// Post-processing: alternatives reduced to the empty chain (every optional
+// absent) are dropped — a query must require at least one segment; each
+// chain's weights are rescaled to sum to 1 (optional expansion leaves the
+// surviving units' relative weights intact but their sum short); and exact
+// duplicate chains — same units, same weights, per Chain.Signature — are
+// deduplicated keeping the first occurrence, so the engines never solve the
+// same segmentation twice per candidate. Dedup is score-neutral: a dropped
+// duplicate scores identically to its earlier copy, and the earlier copy
+// already wins the best-alternative tie.
 func Normalize(q Query) (Normalized, error) {
 	if q.Root == nil {
 		return Normalized{}, fmt.Errorf("shape: cannot normalize empty query")
@@ -109,7 +122,55 @@ func Normalize(q Query) (Normalized, error) {
 	if err != nil {
 		return Normalized{}, err
 	}
-	return Normalized{Alternatives: chains}, nil
+	kept := chains[:0]
+	for _, c := range chains {
+		if len(c.Units) > 0 {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		return Normalized{}, fmt.Errorf("shape: query admits only the empty match; at least one segment must be required")
+	}
+	for _, c := range kept {
+		renormalizeWeights(c.Units)
+	}
+	if len(kept) > 1 {
+		kept = dedupChains(kept)
+	}
+	return Normalized{Alternatives: kept}, nil
+}
+
+// renormalizeWeights rescales unit weights to sum to exactly 1 when optional
+// expansion left the sum short. Chains whose weights already sum to 1 (every
+// query without optionals, up to float rounding in the CONCAT divisions) are
+// left bit-identical.
+func renormalizeWeights(units []Unit) {
+	var sum float64
+	for _, u := range units {
+		sum += u.Weight
+	}
+	if sum <= 0 || math.Abs(sum-1) <= 1e-9 {
+		return
+	}
+	for i := range units {
+		units[i].Weight /= sum
+	}
+}
+
+// dedupChains drops exact duplicate alternatives, keeping first occurrences
+// in order.
+func dedupChains(chains []Chain) []Chain {
+	seen := make(map[string]struct{}, len(chains))
+	out := chains[:0]
+	for _, c := range chains {
+		sig := c.Signature()
+		if _, dup := seen[sig]; dup {
+			continue
+		}
+		seen[sig] = struct{}{}
+		out = append(out, c)
+	}
+	return out
 }
 
 func normalizeNode(n *Node, weight float64) ([]Chain, error) {
@@ -164,10 +225,23 @@ func normalizeNode(n *Node, weight float64) ([]Chain, error) {
 		}
 		return out, nil
 
+	case NodeOptional:
+		sub, err := normalizeNode(n.Children[0], weight)
+		if err != nil {
+			return nil, err
+		}
+		// The absent branch is the empty chain: CONCAT cross-concatenation
+		// contributes no units for it, and Normalize rescales the surviving
+		// chain's weights to sum to 1.
+		return append(sub, Chain{}), nil
+
 	case NodeAnd:
 		for _, c := range n.Children {
 			if containsConcat(c) {
 				return nil, fmt.Errorf("shape: AND over a CONCAT chain cannot be segmented; restructure the query")
+			}
+			if containsOptional(c) {
+				return nil, fmt.Errorf("shape: AND over an optional sub-shape cannot be segmented; restructure the query")
 			}
 		}
 		return []Chain{{Units: []Unit{{Node: n, Weight: weight}}}}, nil
@@ -175,6 +249,9 @@ func normalizeNode(n *Node, weight float64) ([]Chain, error) {
 	case NodeNot:
 		if containsConcat(n.Children[0]) {
 			return nil, fmt.Errorf("shape: OPPOSITE over a CONCAT chain cannot be segmented; restructure the query")
+		}
+		if containsOptional(n.Children[0]) {
+			return nil, fmt.Errorf("shape: OPPOSITE over an optional sub-shape cannot be segmented; restructure the query")
 		}
 		return []Chain{{Units: []Unit{{Node: n, Weight: weight}}}}, nil
 
@@ -195,6 +272,23 @@ func containsConcat(n *Node) bool {
 	}
 	for _, c := range n.Children {
 		if containsConcat(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsOptional reports whether the subtree holds an OPTIONAL node at any
+// depth outside nested pattern sub-queries.
+func containsOptional(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Kind == NodeOptional {
+		return true
+	}
+	for _, c := range n.Children {
+		if containsOptional(c) {
 			return true
 		}
 	}

@@ -355,6 +355,10 @@ const (
 	NodeOr
 	// NodeNot is the OPPOSITE (!) operator.
 	NodeNot
+	// NodeOptional is the postfix optional ("?") operator: the sub-shape may
+	// be present or absent. Normalize expands it into alternative chains
+	// with and without the sub-shape's units.
+	NodeOptional
 )
 
 // String names the node kind.
@@ -370,6 +374,8 @@ func (k NodeKind) String() string {
 		return "OR"
 	case NodeNot:
 		return "OPPOSITE"
+	case NodeOptional:
+		return "OPTIONAL"
 	default:
 		return fmt.Sprintf("NodeKind(%d)", int(k))
 	}
@@ -404,6 +410,11 @@ func Not(child *Node) *Node {
 	return &Node{Kind: NodeNot, Children: []*Node{child}}
 }
 
+// Optional builds an OPTIONAL ("?") node.
+func Optional(child *Node) *Node {
+	return &Node{Kind: NodeOptional, Children: []*Node{child}}
+}
+
 func opNode(kind NodeKind, children []*Node) *Node {
 	if len(children) == 1 {
 		return children[0]
@@ -434,6 +445,14 @@ func (n *Node) String() string {
 		return n.Seg.String()
 	case NodeNot:
 		return "!" + n.childString(0, true)
+	case NodeOptional:
+		// Postfix ? binds tighter than every infix operator; any non-leaf
+		// child keeps parentheses so String round-trips the parser.
+		s := n.Children[0].String()
+		if n.Children[0].Kind != NodeSegment {
+			s = "(" + s + ")"
+		}
+		return s + "?"
 	case NodeConcat:
 		return n.joinChildren("")
 	case NodeAnd:
@@ -473,7 +492,7 @@ func prec(k NodeKind) int {
 		return 2
 	case NodeConcat:
 		return 3
-	case NodeNot:
+	case NodeNot, NodeOptional:
 		return 4
 	default:
 		return 5
@@ -594,17 +613,33 @@ func (q Query) HasPositionRefs() bool {
 // a pinned window, in which case the whole x domain is needed.
 func (q Query) XRanges() (ranges [][2]float64, ok bool) {
 	ok = true
-	q.Root.Walk(func(n *Node) {
-		if n.Kind != NodeSegment {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil {
 			return
 		}
-		l := n.Seg.Loc
-		if l.XPinned() {
-			ranges = append(ranges, [2]float64{l.XS.Value, l.XE.Value})
-		} else {
+		if n.Kind == NodeOptional {
+			// An absent optional imposes no window, so its pins must not
+			// filter candidates and the query is not fully pinned.
 			ok = false
+			return
 		}
-	})
+		if n.Kind == NodeSegment {
+			l := n.Seg.Loc
+			if l.XPinned() {
+				ranges = append(ranges, [2]float64{l.XS.Value, l.XE.Value})
+			} else {
+				ok = false
+			}
+		}
+		if n.Seg != nil && n.Seg.Pat.Sub != nil {
+			rec(n.Seg.Pat.Sub)
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(q.Root)
 	return ranges, ok
 }
 
@@ -649,6 +684,10 @@ func validateNode(n *Node, depth int) error {
 	case NodeNot:
 		if len(n.Children) != 1 {
 			return fmt.Errorf("shape: OPPOSITE requires exactly one operand, got %d", len(n.Children))
+		}
+	case NodeOptional:
+		if len(n.Children) != 1 {
+			return fmt.Errorf("shape: OPTIONAL requires exactly one operand, got %d", len(n.Children))
 		}
 	case NodeConcat, NodeAnd, NodeOr:
 		if len(n.Children) < 2 {

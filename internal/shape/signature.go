@@ -1,0 +1,150 @@
+package shape
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Canonical structural signatures. A signature serializes every field that
+// participates in structural equality (Node.Equal), nested sub-queries
+// included, with floats encoded by their exact IEEE bit pattern — so equal
+// signatures imply structurally equal trees, which in turn score identically
+// over every range of every visualization. The executor interns unit
+// signatures once per compiled plan and keys its per-candidate unit-score
+// memo and chain-bound dedup on them; two alternatives produced by
+// cross-concatenation that share a unit therefore share its evaluation.
+
+// Signature returns the canonical structural signature of the node tree.
+func (n *Node) Signature() string {
+	var sb strings.Builder
+	writeNodeSig(&sb, n)
+	return sb.String()
+}
+
+// Signature returns the unit's canonical pattern signature (the node
+// signature; the unit's chain weight is a chain-level property, see
+// Chain.Signature).
+func (u Unit) Signature() string { return u.Node.Signature() }
+
+// Signature returns the canonical signature of the chain: the unit
+// signatures in order, each paired with its exact weight. Two chains with
+// equal signatures are interchangeable — same score and same assignment on
+// every visualization — which is the dedup contract of Normalize.
+func (c Chain) Signature() string {
+	var sb strings.Builder
+	for i, u := range c.Units {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		writeFloatSig(&sb, u.Weight)
+		sb.WriteByte('*')
+		writeNodeSig(&sb, u.Node)
+	}
+	return sb.String()
+}
+
+// HasDirectPositionRef reports whether the tree contains a POSITION pattern
+// outside nested sub-queries. Such a node's score depends on its position in
+// the chain and on sibling units' fitted slopes, not on its structure alone,
+// so it is excluded from signature-keyed score sharing. POSITION references
+// inside a nested sub-query resolve within that sub-query's own chains and
+// do not leak out.
+func (n *Node) HasDirectPositionRef() bool {
+	if n == nil {
+		return false
+	}
+	if n.Kind == NodeSegment && n.Seg.Pat.Kind == PatPosition {
+		return true
+	}
+	for _, c := range n.Children {
+		if c.HasDirectPositionRef() {
+			return true
+		}
+	}
+	return false
+}
+
+func writeNodeSig(sb *strings.Builder, n *Node) {
+	if n == nil {
+		sb.WriteByte('_')
+		return
+	}
+	if n.Kind == NodeSegment {
+		writeSegSig(sb, n.Seg)
+		return
+	}
+	sb.WriteByte('(')
+	sb.WriteString(strconv.Itoa(int(n.Kind)))
+	for _, c := range n.Children {
+		sb.WriteByte(' ')
+		writeNodeSig(sb, c)
+	}
+	sb.WriteByte(')')
+}
+
+func writeSegSig(sb *strings.Builder, s *Segment) {
+	if s == nil {
+		sb.WriteString("[_]")
+		return
+	}
+	sb.WriteByte('[')
+	writeCoordSig(sb, s.Loc.XS)
+	sb.WriteByte(',')
+	writeCoordSig(sb, s.Loc.XE)
+	sb.WriteByte(',')
+	writeCoordSig(sb, s.Loc.YS)
+	sb.WriteByte(',')
+	writeCoordSig(sb, s.Loc.YE)
+	sb.WriteByte('p')
+	sb.WriteString(strconv.Itoa(int(s.Pat.Kind)))
+	switch s.Pat.Kind {
+	case PatSlope:
+		writeFloatSig(sb, s.Pat.Slope)
+	case PatPosition:
+		sb.WriteString(strconv.Itoa(int(s.Pat.Ref.Kind)))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(s.Pat.Ref.Index))
+	case PatUDP:
+		sb.WriteString(strconv.Quote(s.Pat.Name))
+	case PatNested:
+		writeNodeSig(sb, s.Pat.Sub)
+	}
+	sb.WriteByte('m')
+	sb.WriteString(strconv.Itoa(int(s.Mod.Kind)))
+	writeFloatSig(sb, s.Mod.Factor)
+	if s.Mod.HasMin {
+		sb.WriteString(strconv.Itoa(s.Mod.Min))
+	}
+	sb.WriteByte(',')
+	if s.Mod.HasMax {
+		sb.WriteString(strconv.Itoa(s.Mod.Max))
+	}
+	if len(s.Sketch) > 0 {
+		sb.WriteByte('v')
+		for _, pt := range s.Sketch {
+			writeFloatSig(sb, pt.X)
+			sb.WriteByte(':')
+			writeFloatSig(sb, pt.Y)
+			sb.WriteByte(' ')
+		}
+	}
+	sb.WriteByte(']')
+}
+
+func writeCoordSig(sb *strings.Builder, c Coord) {
+	if !c.Set {
+		sb.WriteByte('_')
+		return
+	}
+	if c.Iter {
+		sb.WriteByte('.')
+		writeFloatSig(sb, c.IterOffset)
+		return
+	}
+	writeFloatSig(sb, c.Value)
+}
+
+func writeFloatSig(sb *strings.Builder, f float64) {
+	sb.WriteString(strconv.FormatUint(math.Float64bits(f), 16))
+}

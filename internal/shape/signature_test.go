@@ -1,0 +1,189 @@
+package shape
+
+import (
+	"math"
+	"testing"
+)
+
+func upSeg() *Node   { return PatternSeg(PatUp) }
+func downSeg() *Node { return PatternSeg(PatDown) }
+
+func TestSignatureMatchesStructuralEquality(t *testing.T) {
+	pairs := []struct {
+		a, b *Node
+		same bool
+	}{
+		{upSeg(), upSeg(), true},
+		{upSeg(), downSeg(), false},
+		{SlopeSeg(45), SlopeSeg(45), true},
+		{SlopeSeg(45), SlopeSeg(45.5), false},
+		{Seg(Segment{Loc: Location{XS: Lit(2)}, Pat: Pattern{Kind: PatUp}}),
+			Seg(Segment{Loc: Location{XS: Lit(2)}, Pat: Pattern{Kind: PatUp}}), true},
+		{Seg(Segment{Loc: Location{XS: Lit(2)}, Pat: Pattern{Kind: PatUp}}),
+			Seg(Segment{Loc: Location{XE: Lit(2)}, Pat: Pattern{Kind: PatUp}}), false},
+		{Seg(Segment{Pat: Pattern{Kind: PatUDP, Name: "spike"}}),
+			Seg(Segment{Pat: Pattern{Kind: PatUDP, Name: "spike"}}), true},
+		{Seg(Segment{Pat: Pattern{Kind: PatUDP, Name: "spike"}}),
+			Seg(Segment{Pat: Pattern{Kind: PatUDP, Name: "dip"}}), false},
+		{Seg(Segment{Pat: Pattern{Kind: PatNested, Sub: Concat(upSeg(), downSeg())}}),
+			Seg(Segment{Pat: Pattern{Kind: PatNested, Sub: Concat(upSeg(), downSeg())}}), true},
+		{Seg(Segment{Pat: Pattern{Kind: PatNested, Sub: Concat(upSeg(), downSeg())}}),
+			Seg(Segment{Pat: Pattern{Kind: PatNested, Sub: Concat(downSeg(), upSeg())}}), false},
+		{And(upSeg(), Not(downSeg())), And(upSeg(), Not(downSeg())), true},
+		{And(upSeg(), Not(downSeg())), And(upSeg(), Not(upSeg())), false},
+		{Seg(Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModQuantifier, Min: 2, HasMin: true}}),
+			Seg(Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModQuantifier, Min: 2, HasMin: true}}), true},
+		{Seg(Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModQuantifier, Min: 2, HasMin: true}}),
+			Seg(Segment{Pat: Pattern{Kind: PatUp}, Mod: Modifier{Kind: ModQuantifier, Min: 3, HasMin: true}}), false},
+	}
+	for i, p := range pairs {
+		sa, sb := p.a.Signature(), p.b.Signature()
+		if (sa == sb) != p.same {
+			t.Errorf("pair %d: signatures %q vs %q, want same=%v", i, sa, sb, p.same)
+		}
+		if p.same != p.a.Equal(p.b) {
+			t.Errorf("pair %d: Equal=%v disagrees with expectation %v", i, p.a.Equal(p.b), p.same)
+		}
+	}
+}
+
+func TestHasDirectPositionRef(t *testing.T) {
+	pos := Seg(Segment{Pat: Pattern{Kind: PatPosition, Ref: PosRef{Kind: RefPrev}}})
+	if !pos.HasDirectPositionRef() {
+		t.Fatal("bare POSITION segment must report a direct reference")
+	}
+	if !And(upSeg(), pos).HasDirectPositionRef() {
+		t.Fatal("POSITION under AND must report a direct reference")
+	}
+	// POSITION inside a nested sub-query resolves within the sub-query's
+	// own chains and must not leak out.
+	nested := Seg(Segment{Pat: Pattern{Kind: PatNested, Sub: Concat(upSeg(), pos)}})
+	if nested.HasDirectPositionRef() {
+		t.Fatal("POSITION inside a nested sub-query is not a direct reference")
+	}
+}
+
+// TestNormalizeOptional: the ? operator expands into alternatives with and
+// without the optional units, never yields an empty chain, and every
+// surviving chain's weights sum to 1.
+func TestNormalizeOptional(t *testing.T) {
+	q := Query{Root: Concat(Optional(upSeg()), downSeg())}
+	n, err := Normalize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Alternatives) != 2 {
+		t.Fatalf("got %d alternatives, want 2", len(n.Alternatives))
+	}
+	for _, alt := range n.Alternatives {
+		var sum float64
+		for _, u := range alt.Units {
+			sum += u.Weight
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("chain %v weights sum to %v, want 1", alt, sum)
+		}
+	}
+	if n.Alternatives[0].Len() != 2 || n.Alternatives[1].Len() != 1 {
+		t.Fatalf("alternative lengths %d, %d; want 2, 1", n.Alternatives[0].Len(), n.Alternatives[1].Len())
+	}
+	if w := n.Alternatives[1].Units[0].Weight; w != 1 {
+		t.Fatalf("lone unit weight %v, want exactly 1", w)
+	}
+
+	// A whole-query optional degrades to its required form: the empty
+	// alternative is dropped, so u? normalizes like bare u.
+	solo, err := Normalize(Query{Root: Optional(upSeg())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo.Alternatives) != 1 || solo.Alternatives[0].Len() != 1 ||
+		solo.Alternatives[0].Units[0].Weight != 1 {
+		t.Fatalf("u? normalized to %+v, want the single bare-u chain", solo.Alternatives)
+	}
+
+	// AND / OPPOSITE over an optional cannot be segmented.
+	if _, err := Normalize(Query{Root: And(upSeg(), Optional(downSeg()))}); err == nil {
+		t.Fatal("AND over optional must not normalize")
+	}
+	if _, err := Normalize(Query{Root: Not(Optional(downSeg()))}); err == nil {
+		t.Fatal("OPPOSITE over optional must not normalize")
+	}
+}
+
+// TestChainDedupPreservesWeights: dedup drops only chains that agree on
+// units AND weights; structurally equal chains with different weightings
+// (from nested CONCAT grouping) must both survive, and a dropped duplicate
+// must not disturb the kept chain's weights.
+func TestChainDedupPreservesWeights(t *testing.T) {
+	// (u;(d;u)) | (u;d;u): same unit patterns, different weight vectors.
+	grouped := Concat(upSeg(), Concat(downSeg(), upSeg()))
+	flat := Concat(upSeg(), downSeg(), upSeg())
+	n, err := Normalize(Query{Root: Or(grouped, flat)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Alternatives) != 2 {
+		t.Fatalf("got %d alternatives, want 2 (different weightings must not merge)", len(n.Alternatives))
+	}
+	wantGrouped := []float64{0.5, 0.25, 0.25}
+	for i, w := range wantGrouped {
+		if n.Alternatives[0].Units[i].Weight != w {
+			t.Fatalf("grouped chain unit %d weight %v, want %v", i, n.Alternatives[0].Units[i].Weight, w)
+		}
+	}
+
+	// (u;d) | (u;d): exact duplicates collapse to one, keeping the first
+	// occurrence's weights untouched.
+	dup, err := Normalize(Query{Root: Or(Concat(upSeg(), downSeg()), Concat(upSeg(), downSeg()))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup.Alternatives) != 1 {
+		t.Fatalf("got %d alternatives, want 1 after dedup", len(dup.Alternatives))
+	}
+	for i, u := range dup.Alternatives[0].Units {
+		if u.Weight != 0.5 {
+			t.Fatalf("deduped chain unit %d weight %v, want 0.5", i, u.Weight)
+		}
+	}
+}
+
+// TestNormalizeUnchangedWithoutOptionals: queries without optionals keep
+// their exact pre-dedup weights (renormalization must not touch chains
+// whose weights already sum to ~1, so float drift like 3×(1/3) stays
+// bit-identical to the historical behavior).
+func TestNormalizeUnchangedWithoutOptionals(t *testing.T) {
+	n, err := Normalize(Query{Root: Concat(upSeg(), downSeg(), upSeg())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := 1.0 / 3.0
+	for i, u := range n.Alternatives[0].Units {
+		if u.Weight != third {
+			t.Fatalf("unit %d weight %v, want exactly 1/3 (bit-identical)", i, u.Weight)
+		}
+	}
+}
+
+// TestOptionalStringRoundTrip: String renders ? so that it reparses.
+func TestOptionalStringRoundTrip(t *testing.T) {
+	q := Query{Root: Concat(Optional(upSeg()), downSeg(), Optional(Concat(upSeg(), downSeg())))}
+	if got, want := q.String(), "[p=up]?[p=down]([p=up][p=down])?"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestXRangesSkipsOptional: pinned windows under an optional must not feed
+// push-down filtering, and the query must not count as fully pinned.
+func TestXRangesSkipsOptional(t *testing.T) {
+	pinned := Seg(Segment{Loc: Location{XS: Lit(2), XE: Lit(5)}, Pat: Pattern{Kind: PatUp}})
+	opt := Optional(Seg(Segment{Loc: Location{XS: Lit(7), XE: Lit(9)}, Pat: Pattern{Kind: PatDown}}))
+	ranges, ok := Query{Root: Concat(pinned, opt)}.XRanges()
+	if ok {
+		t.Fatal("query with an optional segment must not be fully pinned")
+	}
+	if len(ranges) != 1 || ranges[0] != [2]float64{2, 5} {
+		t.Fatalf("ranges = %v, want only the required segment's window", ranges)
+	}
+}
