@@ -7,6 +7,11 @@
 //	shapesearch -demo stocks -regex "u ; d ; u ; d" -k 5
 //	shapesearch -demo genes -nl "rising then falling then rising"
 //	shapesearch -data prices.csv -z symbol -x day -y close -regex "[p=up, m={2,}]"
+//
+// -regex may repeat; several queries execute as one batch, sharing a
+// single pass over the candidate trendlines:
+//
+//	shapesearch -demo stocks -regex "u ; d" -regex "d ; u" -regex "u ; d ; u"
 package main
 
 import (
@@ -31,7 +36,6 @@ func main() {
 		xAttr     = flag.String("x", "", "x axis attribute")
 		yAttr     = flag.String("y", "", "y axis attribute")
 		agg       = flag.String("agg", "none", "aggregation for duplicate (z,x): none, avg, sum, min, max, count")
-		regex     = flag.String("regex", "", "visual regular expression query")
 		nl        = flag.String("nl", "", "natural language query")
 		k         = flag.Int("k", 5, "number of results")
 		algName   = flag.String("alg", "auto", "algorithm: auto, dp, segmenttree, greedy, dtw, euclidean")
@@ -40,15 +44,26 @@ func main() {
 		filterStr = flag.String("filter", "", "filters, e.g. \"price>10;region=west\" (separators ; , ops = != < <= > >=)")
 		width     = flag.Int("width", 60, "sparkline width")
 	)
+	var regexes multiFlag
+	flag.Var(&regexes, "regex", "visual regular expression query (repeatable: each -regex adds one query to the batch)")
 	flag.Parse()
-	if err := run(*dataPath, *demo, *zAttr, *xAttr, *yAttr, *agg, *regex, *nl,
+	if err := run(*dataPath, *demo, *zAttr, *xAttr, *yAttr, *agg, regexes, *nl,
 		*k, *algName, *pruning, *parallel, *filterStr, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "shapesearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
+// multiFlag collects repeated occurrences of one string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ", ") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func run(dataPath, demo, zAttr, xAttr, yAttr, agg string, regexes []string, nl string,
 	k int, algName string, pruning bool, parallel int, filterStr string, width int) error {
 	tbl, spec, err := loadData(dataPath, demo, zAttr, xAttr, yAttr)
 	if err != nil {
@@ -63,18 +78,20 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 		return err
 	}
 
-	var q shapesearch.Query
+	var qs []shapesearch.Query
 	switch {
-	case regex != "" && nl != "":
+	case len(regexes) > 0 && nl != "":
 		return fmt.Errorf("pass either -regex or -nl, not both")
-	case regex != "":
-		q, err = shapesearch.ParseRegex(regex)
-		if err != nil {
-			return err
+	case len(regexes) > 0:
+		for _, re := range regexes {
+			q, err := shapesearch.ParseRegex(re)
+			if err != nil {
+				return fmt.Errorf("-regex %q: %w", re, err)
+			}
+			qs = append(qs, q)
 		}
 	case nl != "":
-		var info *shapesearch.NLParseInfo
-		q, info, err = shapesearch.ParseNL(nl)
+		q, info, err := shapesearch.ParseNL(nl)
 		if err != nil {
 			return err
 		}
@@ -82,6 +99,7 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 		for _, r := range info.Resolutions {
 			fmt.Printf("  note: %s\n", r)
 		}
+		qs = append(qs, q)
 	default:
 		return fmt.Errorf("a query is required: -regex or -nl")
 	}
@@ -95,10 +113,6 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 		return err
 	}
 
-	plan, err := shapesearch.Compile(q, opts)
-	if err != nil {
-		return err
-	}
 	// Ctrl-C cancels the scoring pipeline cooperatively: workers stop
 	// pulling candidates and the search returns context.Canceled instead
 	// of leaving a long query running to completion.
@@ -106,13 +120,43 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 	defer stop()
 	// Search through the columnar index — the same path the server serves
 	// from, so CLI results and timings match served queries.
-	results, err := plan.SearchContext(ctx, shapesearch.BuildIndex(tbl), spec)
+	ix := shapesearch.BuildIndex(tbl)
+
+	if len(qs) == 1 {
+		plan, err := shapesearch.Compile(qs[0], opts)
+		if err != nil {
+			return err
+		}
+		results, err := plan.SearchContext(ctx, ix, spec)
+		if err != nil {
+			return err
+		}
+		printResults(results, width)
+		return nil
+	}
+	// Several -regex flags: one batch, one pass over the candidates.
+	mp, err := shapesearch.CompileBatch(qs, opts)
 	if err != nil {
 		return err
 	}
+	perQuery, err := mp.SearchContext(ctx, ix, spec)
+	if err != nil {
+		return err
+	}
+	for i, results := range perQuery {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s\n", regexes[i])
+		printResults(results, width)
+	}
+	return nil
+}
+
+func printResults(results []shapesearch.Result, width int) {
 	if len(results) == 0 {
 		fmt.Println("no matches")
-		return nil
+		return
 	}
 	maxZ := 0
 	for _, r := range results {
@@ -130,7 +174,6 @@ func run(dataPath, demo, zAttr, xAttr, yAttr, agg, regex, nl string,
 			fmt.Printf("    %*s  breaks at x = %s\n", maxZ, "", strings.Join(parts, ", "))
 		}
 	}
-	return nil
 }
 
 func loadData(dataPath, demo, zAttr, xAttr, yAttr string) (*shapesearch.Table, shapesearch.ExtractSpec, error) {

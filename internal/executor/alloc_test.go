@@ -78,6 +78,55 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocsBatch extends the steady-state budget to the batch
+// pipeline: runMulti's per-run bookkeeping (per-query slots, heaps and
+// bound vectors) scales with Q, while per-candidate evaluation stays on
+// the pooled evalCtx exactly as in the single-plan kernel. The budget is
+// the single-plan budget times Q plus the same per-run overhead — if
+// per-candidate garbage crept into the shared-memo path it would blow
+// through by an order of magnitude.
+func TestSteadyStateAllocsBatch(t *testing.T) {
+	const (
+		nSeries = 16
+		points  = 120
+		nq      = 4
+		budget  = 12 * nSeries * nq
+	)
+	series := allocSeries(nSeries, points)
+	queries := []string{"u ; d ; u", "d ; u ; d", "u ; d", "u ; d ; u ; d"}
+	for _, pruning := range []bool{false, true} {
+		t.Run(fmt.Sprintf("pruning=%v", pruning), func(t *testing.T) {
+			opts := seqOpts()
+			opts.Algorithm = AlgSegmentTree
+			opts.Pruning = pruning
+			plans := make([]*Plan, nq)
+			for i, q := range queries {
+				p, err := Compile(regexlang.MustParse(q), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plans[i] = p
+			}
+			mp, err := NewMultiPlan(plans)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vizs := plans[0].GroupSeries(series)
+			if _, err := mp.RunGrouped(vizs); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				if _, err := mp.RunGrouped(vizs); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > budget {
+				t.Errorf("steady-state batch RunGrouped allocates %.0f objects per run, budget %d", avg, budget)
+			}
+		})
+	}
+}
+
 // TestSteadyStateAllocsQuantifier covers the quantifier hot path (pair
 // scores, run detection, run scoring), which allocated per evaluated range
 // before the pooled kernel.

@@ -76,14 +76,34 @@ type unitPin struct {
 	hasS, hasE bool
 }
 
-// buildChainMeta analyzes the normalized alternatives of a query.
-func buildChainMeta(norm shape.Normalized) *chainMeta {
-	m := &chainMeta{alts: make([]altMeta, len(norm.Alternatives))}
-	ids := make(map[string]int)
+// sigIntern is the mutable interning state behind chainMeta construction.
+// For a single plan it is private to one buildChainMeta call; for a batch
+// (CompileBatch / NewMultiPlan) one sigIntern spans every query's normalized
+// alternatives, so signature ids — and with them the per-candidate score
+// memo keys, the fit memo, and the bound-group dedup — are global across the
+// batch: two queries sharing a unit share its evaluation on every candidate.
+type sigIntern struct {
+	ids map[string]int
 	// eligCount counts memo-eligible occurrences per signature id across
-	// all (alternative, slot) contexts.
-	var eligCount []int
-	boundGroups := make(map[string]int)
+	// all (alternative, slot) contexts of every query added so far.
+	eligCount     []int
+	sigFast       []shape.PatternKind
+	sigFastTarget []float64
+	boundGroups   map[string]int
+	memoOn        bool
+}
+
+func newSigIntern() *sigIntern {
+	return &sigIntern{ids: make(map[string]int), boundGroups: make(map[string]int)}
+}
+
+// add interns one query's normalized alternatives, returning its chainMeta
+// with the per-alternative fields (sigs, pins, order, bound groups) filled.
+// The intern-wide fields (signature tables, counts, memoOn) are stamped by
+// finalize once every query has been added — the shared tables may still
+// grow while later queries intern.
+func (st *sigIntern) add(norm shape.Normalized) *chainMeta {
+	m := &chainMeta{alts: make([]altMeta, len(norm.Alternatives))}
 	for ai, alt := range norm.Alternatives {
 		am := &m.alts[ai]
 		k := len(alt.Units)
@@ -93,23 +113,23 @@ func buildChainMeta(norm shape.Normalized) *chainMeta {
 		pinFree := true
 		for t, u := range alt.Units {
 			sig := u.Signature()
-			id, ok := ids[sig]
+			id, ok := st.ids[sig]
 			if !ok {
-				id = len(ids)
-				ids[sig] = id
-				eligCount = append(eligCount, 0)
+				id = len(st.ids)
+				st.ids[sig] = id
+				st.eligCount = append(st.eligCount, 0)
 				fk, target := fastPattern(u.Node)
-				m.sigFast = append(m.sigFast, fk)
-				m.sigFastTarget = append(m.sigFastTarget, target)
+				st.sigFast = append(st.sigFast, fk)
+				st.sigFastTarget = append(st.sigFastTarget, target)
 			}
 			am.bsigs[t] = id
 			if u.Node.HasDirectPositionRef() {
 				am.sigs[t] = -1
 			} else {
 				am.sigs[t] = id
-				eligCount[id]++
-				if eligCount[id] > 1 {
-					m.memoOn = true
+				st.eligCount[id]++
+				if st.eligCount[id] > 1 {
+					st.memoOn = true
 				}
 			}
 			p := &am.pins[t]
@@ -122,16 +142,14 @@ func buildChainMeta(norm shape.Normalized) *chainMeta {
 		am.boundGroup = -1
 		if pinFree {
 			key := boundGroupKey(am.bsigs, alt.Units)
-			g, ok := boundGroups[key]
+			g, ok := st.boundGroups[key]
 			if !ok {
-				g = len(boundGroups)
-				boundGroups[key] = g
+				g = len(st.boundGroups)
+				st.boundGroups[key] = g
 			}
 			am.boundGroup = g
 		}
 	}
-	m.nSigs = len(ids)
-	m.nBoundGroups = len(boundGroups)
 	m.order = make([]int, len(norm.Alternatives))
 	for i := range m.order {
 		m.order[i] = i
@@ -139,6 +157,29 @@ func buildChainMeta(norm shape.Normalized) *chainMeta {
 	sort.SliceStable(m.order, func(a, b int) bool {
 		return len(norm.Alternatives[m.order[a]].Units) < len(norm.Alternatives[m.order[b]].Units)
 	})
+	return m
+}
+
+// finalize stamps the intern-wide tables onto every chainMeta built from
+// this state. All metas share the same backing slices (read-only after
+// this), the same signature count, and the same memo switch — which is what
+// lets batch execution reset the score/fit memos once per candidate and
+// share entries across queries.
+func (st *sigIntern) finalize(ms ...*chainMeta) {
+	for _, m := range ms {
+		m.memoOn = st.memoOn
+		m.nSigs = len(st.ids)
+		m.sigFast = st.sigFast
+		m.sigFastTarget = st.sigFastTarget
+		m.nBoundGroups = len(st.boundGroups)
+	}
+}
+
+// buildChainMeta analyzes the normalized alternatives of a query.
+func buildChainMeta(norm shape.Normalized) *chainMeta {
+	st := newSigIntern()
+	m := st.add(norm)
+	st.finalize(m)
 	return m
 }
 

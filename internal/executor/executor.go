@@ -254,6 +254,17 @@ func (o *Options) solver(norm shape.Normalized) (runSolver, error) {
 // byte-identical to the naive per-alternative loop (the meta-nil path,
 // pinned by TestSharedEvalMatchesNaive).
 func evalViz(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, solve runSolver) (float64, [][2]int, error) {
+	return evalVizShared(ec, v, norm, o, solve, true)
+}
+
+// evalVizShared is evalViz with explicit memo-reset control: the score/fit
+// memos are bump-reset only when resetMemo is true. Single-query execution
+// always resets (the memos belong to the (candidate, query) evaluation);
+// batch execution (runMulti) resets on the candidate's first evaluated
+// query only, so later queries of the same candidate share every
+// (signature, range) score and every range fit already computed — signature
+// ids are batch-global, so shared entries are exact for every query.
+func evalVizShared(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, solve runSolver, resetMemo bool) (float64, [][2]int, error) {
 	meta := o.chainMeta
 	best := math.Inf(-1)
 	var bestRanges [][2]int
@@ -272,7 +283,7 @@ func evalViz(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options, solve runSo
 		return best, bestRanges, nil
 	}
 	memoOK := meta.memoUsable(v.N())
-	if memoOK {
+	if memoOK && resetMemo {
 		ec.memo.reset()
 		ec.fitMemo.reset()
 	}

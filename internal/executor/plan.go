@@ -143,6 +143,31 @@ func Compile(q shape.Query, opts Options) (*Plan, error) {
 // Options returns a copy of the plan's normalized options.
 func (p *Plan) Options() Options { return *p.opts }
 
+// Fingerprint returns the plan's canonical query fingerprint: the
+// normalized alternative chains' signatures in order (see
+// shape.Normalized.Fingerprint). Two plans compiled from queries with equal
+// fingerprints and equal effective Options are interchangeable — identical
+// scores, ranking and assignments on every input — which is the keying
+// contract of the server-side compiled-plan cache.
+func (p *Plan) Fingerprint() string { return p.norm.Fingerprint() }
+
+// WithParallelism returns a plan identical to p but scoring with n workers
+// (n <= 0 keeps p's setting). The copy is shallow: the normalized query,
+// solver, chain metadata and hoisted compile state are shared read-only, so
+// the call is allocation-cheap — this is how a cached plan serves requests
+// with per-request worker budgets without recompiling or mutating the
+// shared entry.
+func (p *Plan) WithParallelism(n int) *Plan {
+	if n <= 0 || n == p.opts.Parallelism {
+		return p
+	}
+	o := *p.opts
+	o.Parallelism = n
+	q := *p
+	q.opts = &o
+	return &q
+}
+
 // EffectiveSpec applies the LOCATION push-down of Section 5.4 (a)/(c) to an
 // extraction spec: when every segment is pinned, rows outside the referenced
 // x windows are never materialized.

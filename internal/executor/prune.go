@@ -128,22 +128,20 @@ func cappedExtreme(ps *pruneStats, vmax float64, hi bool) float64 {
 // the worker's pooled evalCtx — the check allocates nothing in steady
 // state.
 func soundUpperBound(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options) float64 {
-	ps := v.pruneSlopeStats()
-	if ps.nPairs == 0 {
-		return math.Inf(1) // no valid pair: nothing to bound, never prune
-	}
-	n := v.N()
-	tolX := 1.5 * (v.Series.X[n-1] - v.Series.X[0]) / float64(n-1)
-	// mayFail: evaluation paths that can force −1 below any slope-derived
-	// minimum (skip-mask hits, duplicate-x degenerate fits). The upper
-	// bound is unaffected; only NOT's use of the lower bound needs it.
-	mayFail := v.Skipped != nil || math.IsInf(ps.ratio, 1)
-	meta := o.chainMeta
-	// Per-candidate bound caches: the slope interval per width floor, the
-	// unit bound per (signature, width floor), and — for pin-free chains —
-	// the whole chain bound per distinct bound group, so alternatives with
-	// provably identical bounds (same unit-count and (signature, weight)
-	// multiset; the bound is order-free within a fuzzy run) derive it once.
+	ec.resetBoundCaches(o.chainMeta)
+	return soundUpperBoundShared(ec, v, norm, o)
+}
+
+// resetBoundCaches invalidates the per-candidate bound caches: the slope
+// interval per width floor, the unit bound per (signature, width floor),
+// and — for pin-free chains — the whole chain bound per distinct bound
+// group, so alternatives with provably identical bounds (same unit-count
+// and (signature, weight) multiset; the bound is order-free within a fuzzy
+// run) derive it once. Single-query bounding resets per (candidate, query);
+// batch execution (runMulti) resets once per candidate and lets the caches
+// compose across queries — signature and bound-group ids are batch-global,
+// so the keys stay unambiguous.
+func (ec *evalCtx) resetBoundCaches(meta *chainMeta) {
 	ec.ubSpanKeys = ec.ubSpanKeys[:0]
 	ec.ubSpanLo = ec.ubSpanLo[:0]
 	ec.ubSpanHi = ec.ubSpanHi[:0]
@@ -156,6 +154,22 @@ func soundUpperBound(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options) flo
 			set[i] = false
 		}
 	}
+}
+
+// soundUpperBoundShared is soundUpperBound minus the cache reset: the
+// caller owns the per-candidate cache lifecycle via resetBoundCaches.
+func soundUpperBoundShared(ec *evalCtx, v *Viz, norm shape.Normalized, o *Options) float64 {
+	ps := v.pruneSlopeStats()
+	if ps.nPairs == 0 {
+		return math.Inf(1) // no valid pair: nothing to bound, never prune
+	}
+	n := v.N()
+	tolX := 1.5 * (v.Series.X[n-1] - v.Series.X[0]) / float64(n-1)
+	// mayFail: evaluation paths that can force −1 below any slope-derived
+	// minimum (skip-mask hits, duplicate-x degenerate fits). The upper
+	// bound is unaffected; only NOT's use of the lower bound needs it.
+	mayFail := v.Skipped != nil || math.IsInf(ps.ratio, 1)
+	meta := o.chainMeta
 	ub := math.Inf(-1)
 	for ai, alt := range norm.Alternatives {
 		var am *altMeta

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"shapesearch/internal/executor"
+)
+
+// defaultPlanCacheCapacity bounds the number of cached compiled plans. A
+// plan is a few kilobytes of interned metadata, so the bound is generous;
+// it exists to keep adversarial query streams from growing the map without
+// limit.
+const defaultPlanCacheCapacity = 128
+
+// planKey keys a compiled plan by everything that shapes it: the
+// normalized query fingerprint (shape.Normalized.Fingerprint — exact
+// structure, exact weights, alternative order) plus the effective
+// score-relevant request options. Every other executor option the server
+// uses is a process-wide constant (DefaultOptions), so it needs no key
+// component; Parallelism is deliberately absent — it is per-request
+// (Plan.WithParallelism wraps the cached plan without recompiling).
+func planKey(fingerprint string, alg executor.Algorithm, k int, pruning bool) string {
+	return fmt.Sprintf("%d\x00%d\x00%t\x00%s", alg, k, pruning, fingerprint)
+}
+
+// planCache memoizes executor.Compile across requests. Plans are immutable
+// and dataset-independent, so entries are never invalidated — only evicted
+// (LRU) when capacity is exceeded. Concurrent misses on one key coalesce:
+// a single leader compiles while the rest wait and share the result
+// (counted as hits — the work is shared, not repeated). Compile errors are
+// returned to everyone in the flight but never stored: error outcomes are
+// deterministic per key, yet caching them would spend cache slots on
+// garbage queries.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // value: *planEntry
+	// order is the recency list: front = most recently used.
+	order   *list.List
+	flights map[string]*planFlight
+	// hits and misses instrument the cache for the response debug block
+	// and tests.
+	hits, misses uint64
+}
+
+type planEntry struct {
+	key  string
+	plan *executor.Plan
+}
+
+type planFlight struct {
+	done chan struct{}
+	plan *executor.Plan
+	err  error
+}
+
+// errCompileAbandoned is what flight waiters observe when the leader's
+// compile panicked instead of returning.
+var errCompileAbandoned = errors.New("server: plan compile did not complete")
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		flights:  make(map[string]*planFlight),
+	}
+}
+
+// get returns the compiled plan for key, compiling on a miss. hit reports
+// whether this call reused existing or in-flight work (false only for the
+// leader of a fresh compile).
+func (c *planCache) get(key string, compile func() (*executor.Plan, error)) (plan *executor.Plan, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		plan := el.Value.(*planEntry).plan
+		c.mu.Unlock()
+		return plan, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		// Compile is pure CPU and fast (no I/O); waiting unconditionally is
+		// fine — there is nothing to cancel.
+		<-f.done
+		return f.plan, true, f.err
+	}
+	c.misses++
+	f := &planFlight{done: make(chan struct{}), err: errCompileAbandoned}
+	c.flights[key] = f
+	// Bookkeeping in a defer so a panicking compile (net/http recovers per
+	// request) still unregisters the flight and releases waiters with
+	// errCompileAbandoned instead of wedging the key forever.
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.entries[key] = c.order.PushFront(&planEntry{key: key, plan: f.plan})
+			for len(c.entries) > c.capacity {
+				back := c.order.Back()
+				c.order.Remove(back)
+				delete(c.entries, back.Value.(*planEntry).key)
+			}
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	c.mu.Unlock()
+
+	plan, err = compile()
+	f.plan, f.err = plan, err
+	return plan, false, err
+}
+
+// stats reports (hits, misses) for the debug block and tests.
+func (c *planCache) stats() (uint64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -44,6 +44,10 @@ type Server struct {
 	nl       *nlparser.Parser
 	mux      *http.ServeMux
 	cache    *candidateCache
+	// plans caches compiled executor plans across requests, keyed by the
+	// normalized query fingerprint plus score-relevant options. Plans are
+	// dataset-independent and immutable, so the cache is never invalidated.
+	plans *planCache
 	// inflight counts searches currently executing; it divides the CPU
 	// budget across concurrent requests (see searchParallelism).
 	inflight atomic.Int64
@@ -61,6 +65,7 @@ func New() *Server {
 		versions: make(map[string]uint64),
 		nl:       nlparser.NewParser(),
 		cache:    newCandidateCache(defaultCacheCapacity),
+		plans:    newPlanCache(defaultPlanCacheCapacity),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/health", s.handleHealth)
@@ -260,16 +265,23 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// searchRequest is the body of /api/search.
+// searchRequest is the body of /api/search. A request carries either one
+// query (the embedded parseRequest fields) or a batch (Queries); the
+// visual parameters — dataset, z/x/y, agg, filters — and the execution
+// options apply to every query in a batch, and the batch executes in one
+// pass over the candidates (see executor.MultiPlan).
 type searchRequest struct {
 	parseRequest
-	Dataset string       `json:"dataset"`
-	Z       string       `json:"z"`
-	X       string       `json:"x"`
-	Y       string       `json:"y"`
-	Agg     string       `json:"agg,omitempty"`
-	Filters []filterSpec `json:"filters,omitempty"`
-	K       int          `json:"k,omitempty"`
+	// Queries is the batch form: each entry is parsed like the top-level
+	// query fields. Mutually exclusive with them.
+	Queries []parseRequest `json:"queries,omitempty"`
+	Dataset string         `json:"dataset"`
+	Z       string         `json:"z"`
+	X       string         `json:"x"`
+	Y       string         `json:"y"`
+	Agg     string         `json:"agg,omitempty"`
+	Filters []filterSpec   `json:"filters,omitempty"`
+	K       int            `json:"k,omitempty"`
 	// Algorithm: auto, dp, segmenttree, greedy, dtw, euclidean.
 	Algorithm string `json:"algorithm,omitempty"`
 	Pruning   bool   `json:"pruning,omitempty"`
@@ -291,10 +303,34 @@ type filterSpec struct {
 	IsStr bool    `json:"isStr,omitempty"`
 }
 
-// searchResponse is the /api/search reply.
+// searchResponse is the /api/search reply. Single-query requests populate
+// Parse and Results; batch requests populate Queries (one entry per input
+// query, in input order).
 type searchResponse struct {
+	Parse   parseResponse      `json:"parse,omitzero"`
+	Results []searchResult     `json:"results,omitempty"`
+	Queries []batchQueryResult `json:"queries,omitempty"`
+	Debug   *searchDebug       `json:"debug,omitempty"`
+}
+
+// batchQueryResult is one query's slice of a batch reply.
+type batchQueryResult struct {
 	Parse   parseResponse  `json:"parse"`
 	Results []searchResult `json:"results"`
+}
+
+// searchDebug carries serving-layer instrumentation.
+type searchDebug struct {
+	PlanCache planCacheDebug `json:"plan_cache"`
+}
+
+// planCacheDebug reports whether this request's plan(s) came from the
+// compiled-plan cache (Hit = every plan in the request was cached or
+// coalesced) plus the server-lifetime counters.
+type planCacheDebug struct {
+	Hit    bool   `json:"hit"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 type searchResult struct {
@@ -315,6 +351,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
+	batch := len(req.Queries) > 0
+	if batch && (req.Kind != "" || req.Query != "" || len(req.Sketch) > 0) {
+		writeError(w, http.StatusBadRequest, "use either the top-level query fields or queries, not both")
+		return
+	}
 	s.mu.RLock()
 	ix, ok := s.indexes[req.Dataset]
 	version := s.versions[req.Dataset]
@@ -323,34 +364,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", req.Dataset))
 		return
 	}
-	q, parseResp, err := s.parseQuery(req.parseRequest)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
 	spec, err := buildSpec(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// opts is the compile-time option set shared by every query in the
+	// request. Parallelism stays at its default here: plans are cached
+	// across requests, so the per-request worker budget is applied by
+	// wrapping the cached plan (WithParallelism), not baked in at compile.
 	opts := executor.DefaultOptions()
 	if req.K > 0 {
 		opts.K = req.K
 	}
 	opts.Pruning = req.Pruning
-	opts.Parallelism = s.searchParallelism(req.Parallelism)
-	defer s.endSearch()
 	if alg, err := algorithmByName(req.Algorithm); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	} else {
 		opts.Algorithm = alg
 	}
-	plan, err := executor.Compile(q, opts)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
+	// One admission per request: a batch shares one worker budget, since
+	// MultiPlan scores all its queries in a single pass over the corpus.
+	budget := s.searchParallelism(req.Parallelism)
+	defer s.endSearch()
 	// The request's context governs the whole data path: the per-request
 	// timeout (if configured) starts before extraction, so an expired or
 	// abandoned request neither extracts nor scores.
@@ -360,20 +397,75 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	// Candidate cache: repeated queries over the same visual parameters
-	// (dataset version + effective extract spec + group config) reuse the
-	// grouped Viz slices and skip EXTRACT + GROUP entirely; concurrent
-	// cold misses coalesce into one extraction.
-	// The expiry check sits outside the fetch closure on purpose: a dead
-	// request must not start an extraction, but a request dying mid-fetch
-	// must not poison coalesced waiters sharing the singleflight — their
-	// extraction completes and populates the cache regardless.
-	if err := ctx.Err(); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
+	if batch {
+		s.searchBatch(ctx, w, req, ix, version, spec, opts, budget)
 		return
 	}
-	key := cacheKey(req.Dataset, version, plan.CandidateKey(spec))
-	vizs, hit, err := s.cache.fetch(ctx, req.Dataset, key, func() ([]*executor.Viz, error) {
+	q, parseResp, err := s.parseQuery(req.parseRequest)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	plan, planHit, err := s.compilePlan(q, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	plan = plan.WithParallelism(budget)
+	vizs, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, plan, spec)
+	if err != nil {
+		return // fetchCandidates wrote the error response
+	}
+	// Score under the same context: a disconnecting client (or the
+	// configured per-request timeout) cancels the worker pool instead of
+	// letting an abandoned query keep burning cores.
+	results, err := plan.RunGroupedContext(ctx, vizs)
+	if err != nil {
+		writeSearchErr(w, err)
+		return
+	}
+	resp := searchResponse{
+		Parse:   *parseResp,
+		Results: renderResults(results, req.MaxPoints),
+		Debug:   s.planDebug(planHit),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// compilePlan serves a compiled plan through the plan cache: the query is
+// normalized once to derive its fingerprint, and structurally identical
+// queries — however they were spelled, whatever front end parsed them —
+// share one compilation.
+func (s *Server) compilePlan(q shape.Query, opts executor.Options) (*executor.Plan, bool, error) {
+	norm, err := shape.Normalize(q)
+	if err != nil {
+		return nil, false, err
+	}
+	key := planKey(norm.Fingerprint(), opts.Algorithm, opts.K, opts.Pruning)
+	return s.plans.get(key, func() (*executor.Plan, error) {
+		return executor.Compile(q, opts)
+	})
+}
+
+// fetchCandidates runs the candidate cache fetch for one plan + spec and
+// handles the surrounding protocol: the pre-fetch expiry check, error
+// status mapping, and the post-store version re-check. On failure it
+// writes the error response and returns nil.
+//
+// Repeated queries over the same visual parameters (dataset version +
+// effective extract spec + group config) reuse the grouped Viz slices and
+// skip EXTRACT + GROUP entirely; concurrent cold misses coalesce into one
+// extraction. The expiry check sits outside the fetch closure on purpose:
+// a dead request must not start an extraction, but a request dying
+// mid-fetch must not poison coalesced waiters sharing the singleflight —
+// their extraction completes and populates the cache regardless.
+func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds string, version uint64, ix *dataset.Index, plan *executor.Plan, spec dataset.ExtractSpec) ([]*executor.Viz, error) {
+	if err := ctx.Err(); err != nil {
+		writeSearchErr(w, err)
+		return nil, err
+	}
+	key := cacheKey(ds, version, plan.CandidateKey(spec))
+	vizs, hit, err := s.cache.fetch(ctx, ds, key, func() ([]*executor.Viz, error) {
 		series, err := ix.Extract(plan.EffectiveSpec(spec))
 		if err != nil {
 			return nil, err
@@ -381,12 +473,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return plan.GroupSeries(series), nil
 	})
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
-			return
-		}
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		writeSearchErr(w, err)
+		return nil, err
 	}
 	if !hit {
 		// Re-check the version after the store: if the dataset was replaced
@@ -396,36 +484,119 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// completing after our store deletes the entry by dataset name in
 		// invalidateDataset.
 		s.mu.RLock()
-		current := s.versions[req.Dataset]
+		current := s.versions[ds]
 		s.mu.RUnlock()
 		if current != version {
 			s.cache.remove(key)
 		}
 	}
-	// Score under the same context: a disconnecting client (or the
-	// configured per-request timeout) cancels the worker pool instead of
-	// letting an abandoned query keep burning cores.
-	results, err := plan.RunGroupedContext(ctx, vizs)
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
+	return vizs, nil
+}
+
+// searchBatch executes the batch form of /api/search: every query is
+// served through the plan cache, queries whose candidate sets provably
+// coincide (equal Plan.CandidateKey — same effective extract spec and
+// group config) share one candidate-cache entry, and each such group is
+// scored in a single pass over its candidates by executor.MultiPlan.
+// Results come back in input-query order.
+func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req searchRequest, ix *dataset.Index, version uint64, spec dataset.ExtractSpec, opts executor.Options, budget int) {
+	parses := make([]parseResponse, len(req.Queries))
+	plans := make([]*executor.Plan, len(req.Queries))
+	allHit := true
+	for i, pr := range req.Queries {
+		q, presp, err := s.parseQuery(pr)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("query %d: %s", i, err))
 			return
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		parses[i] = *presp
+		plan, hit, err := s.compilePlan(q, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %s", i, err))
+			return
+		}
+		allHit = allHit && hit
+		plans[i] = plan.WithParallelism(budget)
 	}
-	maxPts := req.MaxPoints
+	// Group queries by candidate key: one EXTRACT + GROUP (or one cache
+	// hit) and one multi-query scoring pass per distinct key.
+	groups := make(map[string][]int, len(plans))
+	order := make([]string, 0, len(plans))
+	for i, p := range plans {
+		k := p.CandidateKey(spec)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	results := make([][]executor.Result, len(plans))
+	for _, k := range order {
+		idxs := groups[k]
+		group := make([]*executor.Plan, len(idxs))
+		for gi, qi := range idxs {
+			group[gi] = plans[qi]
+		}
+		mp, err := executor.NewMultiPlan(group)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		vizs, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, group[0], spec)
+		if err != nil {
+			return // fetchCandidates wrote the error response
+		}
+		res, err := mp.RunGroupedContext(ctx, vizs)
+		if err != nil {
+			writeSearchErr(w, err)
+			return
+		}
+		for gi, qi := range idxs {
+			results[qi] = res[gi]
+		}
+	}
+	resp := searchResponse{Debug: s.planDebug(allHit)}
+	resp.Queries = make([]batchQueryResult, len(plans))
+	for i := range plans {
+		resp.Queries[i] = batchQueryResult{
+			Parse:   parses[i],
+			Results: renderResults(results[i], req.MaxPoints),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// planDebug snapshots the plan-cache counters for the response debug
+// block. hit reports whether every plan in this request was served from
+// cache (or coalesced onto an in-flight compile).
+func (s *Server) planDebug(hit bool) *searchDebug {
+	hits, misses := s.plans.stats()
+	return &searchDebug{PlanCache: planCacheDebug{Hit: hit, Hits: hits, Misses: misses}}
+}
+
+// renderResults converts executor results to the wire form, downsampling
+// each series to maxPts points (<=0 means 200) for plotting.
+func renderResults(results []executor.Result, maxPts int) []searchResult {
 	if maxPts <= 0 {
 		maxPts = 200
 	}
-	resp := searchResponse{Parse: *parseResp}
+	out := make([]searchResult, 0, len(results))
 	for _, res := range results {
 		x, y := downsample(res.Series.X, res.Series.Y, maxPts)
-		resp.Results = append(resp.Results, searchResult{
+		out = append(out, searchResult{
 			Z: res.Z, Score: res.Score, BreakXs: res.BreakXs, X: x, Y: y,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return out
+}
+
+// writeSearchErr maps a search-path error to its HTTP status: context
+// expiry (timeout or client disconnect) is 503, everything else 400.
+func writeSearchErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
 }
 
 func buildSpec(req searchRequest) (dataset.ExtractSpec, error) {

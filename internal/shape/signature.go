@@ -44,6 +44,31 @@ func (c Chain) Signature() string {
 	return sb.String()
 }
 
+// Fingerprint returns the canonical fingerprint of a normalized query: its
+// alternative chain signatures in order, newline-joined. Two queries with
+// equal fingerprints normalize to the same alternatives in the same order —
+// they score identically (same score bits, same assignment, same
+// best-alternative tie resolution) over every visualization, so a compiled
+// plan for one serves the other verbatim. That is the keying contract of
+// the server's compiled-plan cache: syntactically different spellings of
+// one query (`u? ; d` versus its expanded chains re-entered through ⊕)
+// collide, while any structural or weight difference — weights are exact
+// IEEE bits in Chain.Signature — separates.
+//
+// The fingerprint is order-sensitive on purpose: alternative order decides
+// ties between equal-scoring alternatives, so order-insensitive keying
+// would conflate plans with observably different Ranges/BreakXs output.
+func (n Normalized) Fingerprint() string {
+	var sb strings.Builder
+	for i, alt := range n.Alternatives {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(alt.Signature())
+	}
+	return sb.String()
+}
+
 // HasDirectPositionRef reports whether the tree contains a POSITION pattern
 // outside nested sub-queries. Such a node's score depends on its position in
 // the chain and on sibling units' fitted slopes, not on its structure alone,

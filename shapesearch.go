@@ -89,6 +89,10 @@ type (
 	// Plan is a compiled query, reusable (and safe for concurrent use)
 	// across many Run/Search calls.
 	Plan = executor.Plan
+	// MultiPlan is a batch of compiled queries that execute against a
+	// corpus in one pass, sharing per-candidate work across queries while
+	// keeping per-query results byte-identical to independent runs.
+	MultiPlan = executor.MultiPlan
 	// Result is one matched visualization.
 	Result = executor.Result
 	// Algorithm selects the segmentation strategy.
@@ -256,6 +260,34 @@ func DefaultSketchConfig() SketchConfig { return sketch.DefaultConfig() }
 // once, and the resulting Plan can score many series collections (from
 // many goroutines) via Plan.Run, Plan.RunGrouped or Plan.Search.
 func Compile(q Query, opts Options) (*Plan, error) { return executor.Compile(q, opts) }
+
+// CompileBatch compiles several queries under one set of options into a
+// MultiPlan: their unit signatures are interned into one shared table, so
+// batch execution evaluates each distinct pattern once per candidate for
+// the whole batch. Related queries (variants of one user intent) get the
+// biggest wins; unrelated queries still share segmentation state and the
+// single corpus pass.
+func CompileBatch(qs []Query, opts Options) (*MultiPlan, error) {
+	return executor.CompileBatch(qs, opts)
+}
+
+// NewMultiPlan builds a batch executor from already-compiled plans (e.g.
+// plans served by a cache). The plans' options must agree on every
+// score-relevant field; K may differ per query. The inputs are not mutated
+// and remain independently usable.
+func NewMultiPlan(plans []*Plan) (*MultiPlan, error) { return executor.NewMultiPlan(plans) }
+
+// SearchBatch runs several queries against the source in one pass over the
+// candidates — the batch analogue of Search. Results are per query, in
+// input order, byte-identical to running each query alone.
+func SearchBatch(src Source, spec ExtractSpec, qs []Query, opts Options) ([][]Result, error) {
+	return executor.SearchBatch(src, spec, qs, opts)
+}
+
+// SearchBatchContext is SearchBatch with cooperative cancellation.
+func SearchBatchContext(ctx context.Context, src Source, spec ExtractSpec, qs []Query, opts Options) ([][]Result, error) {
+	return executor.SearchBatchContext(ctx, src, spec, qs, opts)
+}
 
 // Search extracts candidate visualizations and ranks them against the
 // query — the full EXTRACT → GROUP → SEGMENT → SCORE pipeline. The source
