@@ -1,18 +1,21 @@
 // Command benchjson converts a `go test -json -bench` event stream (stdin)
 // into a compact JSON array of benchmark results (stdout), one record per
 // benchmark line: name, package, iterations, ns/op, and the B/op and
-// allocs/op columns when -benchmem / b.ReportAllocs emitted them. CI's
-// benchmark-smoke step pipes through it to publish BENCH_PR5.json, so the
-// perf trajectory is machine-readable from PR 5 onward.
+// allocs/op columns when -benchmem / b.ReportAllocs emitted them. With
+// -table it prints an aligned human-readable summary instead — CI runs it
+// both ways over the same raw stream, committing the JSON (BENCH_PR7.json)
+// and printing the table into the build log.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 type event struct {
@@ -33,6 +36,9 @@ type result struct {
 }
 
 func main() {
+	table := flag.Bool("table", false,
+		"print an aligned summary table instead of JSON")
+	flag.Parse()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	results := []result{} // non-nil: an empty run must emit [], not null
@@ -70,12 +76,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *table {
+		printTable(results)
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// printTable writes the results as an aligned summary, one row per
+// benchmark, suitable for a CI build log.
+func printTable(results []result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "BENCHMARK\tITERS\tNS/OP\tB/OP\tALLOCS/OP")
+	for _, r := range results {
+		bytesCol, allocsCol := "-", "-"
+		if r.BytesPerOp != nil {
+			bytesCol = strconv.FormatInt(*r.BytesPerOp, 10)
+		}
+		if r.AllocsPerOp != nil {
+			allocsCol = strconv.FormatInt(*r.AllocsPerOp, 10)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%s\t%s\n",
+			r.Name, r.Iterations, r.NsPerOp, bytesCol, allocsCol)
+	}
+	w.Flush()
 }
 
 // parseBenchLine recognizes testing's benchmark result format:

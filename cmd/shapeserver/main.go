@@ -39,13 +39,20 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	noDemo := flag.Bool("nodemo", false, "skip registering the built-in demo datasets")
 	noCache := flag.Bool("nocache", false, "disable the server-side candidate cache")
+	candidateCache := flag.Int("candidate-cache", 0,
+		"candidate cache capacity in entries (0 = default 64)")
+	planCache := flag.Int("plan-cache", 0,
+		"compiled-plan cache capacity in entries (0 = default 128)")
 	searchTimeout := flag.Duration("search-timeout", 0,
 		"per-request scoring deadline (e.g. 5s; 0 = unbounded); expired searches return 503 and free their workers")
 	var loads loadFlags
 	flag.Var(&loads, "load", "register a CSV dataset as name=path (repeatable)")
 	flag.Parse()
 
-	srv := server.New()
+	srv := server.New(
+		server.WithCandidateCacheCapacity(*candidateCache),
+		server.WithPlanCacheCapacity(*planCache),
+	)
 	if *noCache {
 		srv.DisableCache()
 		log.Printf("candidate cache disabled")

@@ -96,6 +96,12 @@ type Options struct {
 	// DTWBand is the Sakoe–Chiba band half-width for AlgDTW
 	// (default −1: unconstrained).
 	DTWBand int
+	// DisableAutoIndex keeps large pruned scans on the flat bound-first
+	// path instead of building a throwaway corpus shape index per run (see
+	// internal/shapeindex). Results are identical either way; the flag
+	// exists for benchmarking the flat scan and for corpora where the
+	// caller knows bound separation is poor.
+	DisableAutoIndex bool
 
 	// nestedPre holds nested sub-queries pre-normalized at Compile time,
 	// keyed by sub-query root. Read-only after Compile; chain compilation

@@ -308,6 +308,17 @@ func (mp *MultiPlan) runMulti(ctx context.Context, idxs []int, n int, viz func(i
 	}
 	o0 := plans[0].opts
 
+	if mp.prune && !o0.DisableAutoIndex && n >= lazyIndexMinCorpus {
+		// Same corpus-scale routing as Plan.run: materialize once, index,
+		// traverse best-first for the whole batch.
+		vizs := make([]*Viz, n)
+		w := o0.Parallelism
+		if ctxErr := forEachIndex(ctx, w, n, func(_, i int) { vizs[i] = viz(i) }); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return mp.runMultiIndexed(ctx, plans, BuildVizIndex(vizs, 0))
+	}
+
 	workers := o0.Parallelism
 	if workers > n {
 		workers = n

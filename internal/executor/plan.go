@@ -422,6 +422,20 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 		workers = 1
 	}
 
+	if p.prune && !o.DisableAutoIndex && n >= lazyIndexMinCorpus {
+		// Corpus-scale inputs route through the shape index even without a
+		// prebuilt one: materialize the grouped candidates once (positions
+		// preserved — they are the ranking tie-break), build the sharded
+		// envelope index over them, and traverse best-first instead of
+		// bounding all n. Below the threshold the flat scan stays cheaper
+		// than the build.
+		vizs := make([]*Viz, n)
+		if ctxErr := forEachIndex(ctx, workers, n, func(_, i int) { vizs[i] = viz(i) }); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return p.runIndexed(ctx, BuildVizIndex(vizs, 0), nil)
+	}
+
 	// Per-worker evaluation contexts: every buffer the scoring kernel
 	// needs, pooled across runs so steady-state scoring allocates nothing.
 	ecs := make([]*evalCtx, workers)

@@ -62,11 +62,23 @@ const boundEps = 1e-9
 // m = 3 (the middle of a 3-point fit is shared by both pairs).
 //
 // Irregular grid: with dmin ≤ every gap ≤ dmax, T_p ≤ dmax·u(u+1)/2 where
-// u = m − ⌈(m−1)/(2·ratio)⌉ counts points above the mean (the mean sits at
+// u ≥ m − (m−1)/(2·ratio) counts points above the mean (the mean sits at
 // least (m−1)·dmin/2 from the left edge), and Sxx ≥ dmin²·m(m²−1)/12 (the
 // pairwise-spread identity Sxx = ΣΣ(x_q−x_p)²/(2m) with every |x_q−x_p| ≥
 // |q−p|·dmin). Both are conservative; the cap only ever errs upward, which
 // loosens the bound but never unsounds it.
+//
+// Monotonicity invariant (the corpus index depends on it): the cap is
+// nonincreasing in m at fixed ratio and nondecreasing in ratio at fixed m,
+// so an envelope evaluated at its bucket's minimum width floor and maximum
+// grid ratio receives a cap ≥ every member's and its slope interval
+// contains theirs (see internal/shapeindex and envelopeUpperBound). This
+// is why u uses the smooth (m−1)/(2·ratio) instead of the exact
+// ⌈(m−1)/(2·ratio)⌉: the ceiled form is marginally tighter but not
+// monotone in m (e.g. ratio 1.05: m=8 → 0.263, m=9 → 0.276), while the
+// smooth form is provably monotone — 2α·m ≤ 3(α(m−1)+1) for the relevant
+// α = 1 − 1/(2·ratio) ∈ (½, 1) — and still a sound upper bound (a larger
+// u only loosens).
 func maxSlopeWeight(m int, ratio float64) float64 {
 	if m < 3 {
 		return 1
@@ -80,7 +92,7 @@ func maxSlopeWeight(m int, ratio float64) float64 {
 	} else if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
 		return 1
 	} else {
-		u := fm - math.Ceil((fm-1)/(2*ratio))
+		u := fm - (fm-1)/(2*ratio)
 		v = 6 * ratio * ratio * u * (u + 1) / (fm * (fm*fm - 1))
 	}
 	if !(v < 1) {

@@ -12,6 +12,8 @@ import (
 
 	"shapesearch/internal/dataset"
 	"shapesearch/internal/segstat"
+	"shapesearch/internal/shapeindex"
+	"shapesearch/internal/sketch"
 )
 
 // normXSpan is the width of the normalized chart space: the full x range of
@@ -252,6 +254,31 @@ func (v *Viz) pruneSlopeStats() *pruneStats {
 		v.pstats = pruneStats{nPairs: pairs, low: low, lowPrefix: lowPrefix, high: high, highPrefix: highPrefix, ratio: ratio}
 	})
 	return &v.pstats
+}
+
+// indexPAAWindows is the resolution of the coarse direction sketch the
+// corpus index buckets by. It only shapes bucket composition (envelope
+// tightness), never soundness, so the exact value is a tuning knob.
+const indexPAAWindows = 16
+
+// boundSummary exports the visualization's query-independent bound state in
+// the corpus index's Summary form: the pruneSlopeStats extremes and prefix
+// sums (shared, not copied — both sides treat them as immutable), the grid
+// ratio, the evaluation-failure flag, and the coarse direction sketch used
+// as the bucketing key.
+func (v *Viz) boundSummary() *shapeindex.Summary {
+	ps := v.pruneSlopeStats()
+	return &shapeindex.Summary{
+		N:          v.N(),
+		NPairs:     ps.nPairs,
+		Low:        ps.low,
+		LowPrefix:  ps.lowPrefix,
+		High:       ps.high,
+		HighPrefix: ps.highPrefix,
+		Ratio:      ps.ratio,
+		MayFail:    v.Skipped != nil || math.IsInf(ps.ratio, 1),
+		UpDown:     sketch.Directions(v.NX, v.NY, indexPAAWindows),
+	}
 }
 
 // insertAsc maintains the r smallest values seen, ascending.

@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"shapesearch/internal/dataset"
+)
+
+// DriftPeaksSeries synthesizes the DriftPeaks separated corpus directly as
+// grouped-ready series — the corpus-scale form (10⁵–10⁶ series) that the
+// shape-index benchmarks run on, skipping table materialization entirely.
+// Unlike DriftPeaks' fixed one-in-eight zigzag fraction, the number of
+// planted zigzags is a parameter and does NOT grow with the corpus: the
+// top-k floor is set by a fixed strong set however large the bulk gets,
+// which is exactly the separated regime where indexed search should visit a
+// vanishing fraction of the corpus as N grows.
+//
+// Generation is deterministic for a given (numSeries, points, zigzags,
+// seed): every series derives its own sub-seed, so the corpus is identical
+// whatever the worker count, and all series share one X backing slice
+// (scoring only reads it).
+func DriftPeaksSeries(numSeries, points, zigzags int, seed int64) []dataset.Series {
+	if zigzags > numSeries {
+		zigzags = numSeries
+	}
+	xs := make([]float64, points)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	// Zigzags are spread evenly through the corpus so round-robin index
+	// shards each see planted strong candidates early.
+	step := 0
+	if zigzags > 0 {
+		step = numSeries / zigzags
+	}
+	out := make([]dataset.Series, numSeries)
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (numSeries + workers - 1) / workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < numSeries; lo += chunk {
+		hi := lo + chunk
+		if hi > numSeries {
+			hi = numSeries
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for s := lo; s < hi; s++ {
+				out[s] = driftPeaksOne(s, points, xs, step, zigzags, seed)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// driftPeaksOne renders series s with its own deterministic sub-stream,
+// mirroring DriftPeaks' per-series shapes: a steep u-d-u-d zigzag for the
+// planted strong set, a mildly curved monotone drift for the bulk.
+func driftPeaksOne(s, points int, xs []float64, step, zigzags int, seed int64) dataset.Series {
+	rng := rand.New(rand.NewSource(seed + int64(s)*1_000_003))
+	isZig := step > 0 && s%step == 0 && s/step < zigzags
+	trend := make([]float64, points)
+	var name string
+	if isZig {
+		name = fmt.Sprintf("zigzag%07d", s)
+		jitter := points / 8
+		if jitter < 1 {
+			jitter = 1
+		}
+		legs := [3]int{}
+		legs[0] = points/4 + rng.Intn(jitter) - jitter/2
+		legs[1] = points/2 + rng.Intn(jitter) - jitter/2
+		legs[2] = 3*points/4 + rng.Intn(jitter) - jitter/2
+		dir, y := 1.0, 0.0
+		next := 0
+		for i := range trend {
+			if next < 3 && i == legs[next] {
+				dir, next = -dir, next+1
+			}
+			y += dir * (1 + rng.Float64()*0.1)
+			trend[i] = y
+		}
+	} else {
+		name = fmt.Sprintf("drift%07d", s)
+		slope := (0.5 + rng.Float64()) * float64(1-2*(s%2))
+		curve := rng.NormFloat64() * 0.05 * float64(points)
+		freq := 0.25 + rng.Float64()*0.5
+		phase := rng.Float64() * 6
+		for i := range trend {
+			t := float64(i) / float64(points-1)
+			trend[i] = slope*float64(points)*t + curve*math.Sin(2*math.Pi*freq*t+phase)
+		}
+	}
+	amp := amplitude(trend)
+	if amp == 0 {
+		amp = 1
+	}
+	ys := make([]float64, points)
+	for i := range ys {
+		ys[i] = trend[i]/amp + rng.NormFloat64()*0.0005
+	}
+	return dataset.Series{Z: name, X: xs, Y: ys}
+}

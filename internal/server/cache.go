@@ -22,6 +22,16 @@ func cacheKey(dataset string, version uint64, planKey string) string {
 	return fmt.Sprintf("%s\x00%d\x00%s", dataset, version, planKey)
 }
 
+// cachedCandidates is one candidate-cache entry's payload: the grouped
+// candidate visualizations plus — for corpus-scale entries — the prebuilt
+// shape index over their bound summaries, so repeated queries pay the index
+// build once alongside EXTRACT + GROUP, not per search. index is nil for
+// small corpora (below indexMinVizs) and when the engine cannot use it.
+type cachedCandidates struct {
+	vizs  []*executor.Viz
+	index *executor.VizIndex
+}
+
 // candidateCache memoizes the EXTRACT + GROUP stages of the pipeline: the
 // grouped candidate visualizations for one dataset version and one set of
 // visual parameters. Entries are immutable once stored (executor.Viz is
@@ -48,13 +58,13 @@ type candidateCache struct {
 type cacheEntry struct {
 	key     string
 	dataset string
-	vizs    []*executor.Viz
+	cands   cachedCandidates
 }
 
 type flight struct {
-	done chan struct{}
-	vizs []*executor.Viz
-	err  error
+	done  chan struct{}
+	cands cachedCandidates
+	err   error
 }
 
 func newCandidateCache(capacity int) *candidateCache {
@@ -83,28 +93,28 @@ func (c *candidateCache) disable() {
 // only for the leader of a fresh build). A waiter whose ctx expires stops
 // waiting and returns ctx.Err(); the leader's build is never canceled —
 // its result still lands in the cache for live requests.
-func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build func() ([]*executor.Viz, error)) (vizs []*executor.Viz, hit bool, err error) {
+func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build func() (cachedCandidates, error)) (cands cachedCandidates, hit bool, err error) {
 	c.mu.Lock()
 	if !c.enabled {
 		c.mu.Unlock()
-		vizs, err = build()
-		return vizs, false, err
+		cands, err = build()
+		return cands, false, err
 	}
 	if el, ok := c.entries[key]; ok {
 		c.hits++
 		c.order.MoveToFront(el)
-		vizs := el.Value.(*cacheEntry).vizs
+		cands := el.Value.(*cacheEntry).cands
 		c.mu.Unlock()
-		return vizs, true, nil
+		return cands, true, nil
 	}
 	if f, ok := c.flights[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.vizs, true, f.err
+			return f.cands, true, f.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return cachedCandidates{}, true, ctx.Err()
 		}
 	}
 	c.misses++
@@ -121,10 +131,10 @@ func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build f
 			if el, ok := c.entries[key]; ok {
 				// A concurrent store beat us (e.g. cache re-enabled
 				// mid-flight); refresh in place.
-				el.Value.(*cacheEntry).vizs = f.vizs
+				el.Value.(*cacheEntry).cands = f.cands
 				c.order.MoveToFront(el)
 			} else {
-				c.entries[key] = c.order.PushFront(&cacheEntry{key: key, dataset: dataset, vizs: f.vizs})
+				c.entries[key] = c.order.PushFront(&cacheEntry{key: key, dataset: dataset, cands: f.cands})
 				for len(c.entries) > c.capacity {
 					c.evictOldestLocked()
 				}
@@ -135,9 +145,9 @@ func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build f
 	}()
 	c.mu.Unlock()
 
-	vizs, err = build()
-	f.vizs, f.err = vizs, err
-	return vizs, false, err
+	cands, err = build()
+	f.cands, f.err = cands, err
+	return cands, false, err
 }
 
 // errBuildAbandoned is what flight waiters observe when the leader's build

@@ -4,50 +4,56 @@ import (
 	"context"
 	"fmt"
 	"testing"
-
-	"shapesearch/internal/executor"
 )
 
 func fill(t *testing.T, c *candidateCache, key string) {
 	t.Helper()
-	_, _, err := c.fetch(context.Background(), "ds", key, func() ([]*executor.Viz, error) {
-		return []*executor.Viz{}, nil
+	_, _, err := c.fetch(context.Background(), "ds", key, func() (cachedCandidates, error) {
+		return cachedCandidates{}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestCandidateCacheLRU asserts the eviction policy: a hot entry that keeps
-// getting hits survives a burst of one-off keys that overflows capacity,
-// while the coldest entry is evicted.
+// TestCandidateCacheLRU asserts the eviction policy at several capacities
+// (the capacity is a server.Option now, so the policy must hold for any
+// configured bound): a hot entry that keeps getting hits survives a burst
+// of one-off keys that overflows capacity, while the coldest entry is
+// evicted.
 func TestCandidateCacheLRU(t *testing.T) {
-	c := newCandidateCache(3)
-	fill(t, c, "hot")
-	fill(t, c, "cold")
-	fill(t, c, "warm")
-	// Touch hot and warm so cold is the LRU entry.
-	fill(t, c, "hot")
-	fill(t, c, "warm")
-	// A burst of one-off keys, with the hot key re-touched between them.
-	for i := 0; i < 5; i++ {
-		fill(t, c, fmt.Sprintf("one-off-%d", i))
-		fill(t, c, "hot")
-	}
-	hitsBefore, _ := c.stats()
-	fill(t, c, "hot")
-	hitsAfter, _ := c.stats()
-	if hitsAfter != hitsBefore+1 {
-		t.Fatalf("hot key was evicted despite constant hits (hits %d -> %d)", hitsBefore, hitsAfter)
-	}
-	_, missesBefore := c.stats()
-	fill(t, c, "cold")
-	_, missesAfter := c.stats()
-	if missesAfter != missesBefore+1 {
-		t.Fatal("cold key should have been evicted by the one-off burst")
-	}
-	if len(c.entries) > 3 || c.order.Len() != len(c.entries) {
-		t.Fatalf("bookkeeping drift: %d entries, %d list nodes", len(c.entries), c.order.Len())
+	for _, capacity := range []int{1, 3, 16} {
+		t.Run(fmt.Sprintf("capacity=%d", capacity), func(t *testing.T) {
+			c := newCandidateCache(capacity)
+			fill(t, c, "hot")
+			fill(t, c, "cold")
+			fill(t, c, "warm")
+			// Touch hot and warm so cold is the LRU entry.
+			fill(t, c, "hot")
+			fill(t, c, "warm")
+			// A burst of one-off keys overflowing any capacity under test,
+			// with the hot key re-touched between them.
+			for i := 0; i < capacity+5; i++ {
+				fill(t, c, fmt.Sprintf("one-off-%d", i))
+				fill(t, c, "hot")
+			}
+			hitsBefore, _ := c.stats()
+			fill(t, c, "hot")
+			hitsAfter, _ := c.stats()
+			if hitsAfter != hitsBefore+1 {
+				t.Fatalf("hot key was evicted despite constant hits (hits %d -> %d)", hitsBefore, hitsAfter)
+			}
+			_, missesBefore := c.stats()
+			fill(t, c, "cold")
+			_, missesAfter := c.stats()
+			if missesAfter != missesBefore+1 {
+				t.Fatal("cold key should have been evicted by the one-off burst")
+			}
+			if len(c.entries) > capacity || c.order.Len() != len(c.entries) {
+				t.Fatalf("bookkeeping drift: %d entries (cap %d), %d list nodes",
+					len(c.entries), capacity, c.order.Len())
+			}
+		})
 	}
 }
 
@@ -57,11 +63,11 @@ func TestCandidateCacheInvalidateDataset(t *testing.T) {
 	c := newCandidateCache(8)
 	for i := 0; i < 3; i++ {
 		key := fmt.Sprintf("a-%d", i)
-		if _, _, err := c.fetch(context.Background(), "a", key, func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
+		if _, _, err := c.fetch(context.Background(), "a", key, func() (cachedCandidates, error) { return cachedCandidates{}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := c.fetch(context.Background(), "b", "b-0", func() ([]*executor.Viz, error) { return nil, nil }); err != nil {
+	if _, _, err := c.fetch(context.Background(), "b", "b-0", func() (cachedCandidates, error) { return cachedCandidates{}, nil }); err != nil {
 		t.Fatal(err)
 	}
 	c.invalidateDataset("a")
@@ -70,5 +76,24 @@ func TestCandidateCacheInvalidateDataset(t *testing.T) {
 	}
 	if _, ok := c.entries["b-0"]; !ok {
 		t.Fatal("other dataset's entry must survive")
+	}
+}
+
+// TestCacheCapacityOptions asserts the server.Options actually resize the
+// caches and that the zero/negative values keep the defaults.
+func TestCacheCapacityOptions(t *testing.T) {
+	s := New(WithCandidateCacheCapacity(5), WithPlanCacheCapacity(7))
+	if got := s.cache.capacity; got != 5 {
+		t.Fatalf("candidate cache capacity = %d, want 5", got)
+	}
+	if got := s.plans.capacity; got != 7 {
+		t.Fatalf("plan cache capacity = %d, want 7", got)
+	}
+	d := New(WithCandidateCacheCapacity(0), WithPlanCacheCapacity(-1))
+	if got := d.cache.capacity; got != defaultCacheCapacity {
+		t.Fatalf("candidate cache capacity = %d, want default %d", got, defaultCacheCapacity)
+	}
+	if got := d.plans.capacity; got != defaultPlanCacheCapacity {
+		t.Fatalf("plan cache capacity = %d, want default %d", got, defaultPlanCacheCapacity)
 	}
 }

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"shapesearch/internal/dataset"
-	"shapesearch/internal/executor"
 )
 
 // searchBody is the minimal /api/search request the cancellation tests use.
@@ -105,19 +104,19 @@ func TestCacheWaiterHonorsContext(t *testing.T) {
 	started := make(chan struct{})
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.fetch(context.Background(), "d", "k", func() ([]*executor.Viz, error) {
+		_, _, err := c.fetch(context.Background(), "d", "k", func() (cachedCandidates, error) {
 			close(started)
 			<-release
-			return []*executor.Viz{}, nil
+			return cachedCandidates{}, nil
 		})
 		leaderDone <- err
 	}()
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := c.fetch(ctx, "d", "k", func() ([]*executor.Viz, error) {
+	if _, _, err := c.fetch(ctx, "d", "k", func() (cachedCandidates, error) {
 		t.Error("waiter must join the flight, not rebuild")
-		return nil, nil
+		return cachedCandidates{}, nil
 	}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("expired waiter err = %v, want context.Canceled", err)
 	}
@@ -126,9 +125,9 @@ func TestCacheWaiterHonorsContext(t *testing.T) {
 		t.Fatalf("leader err = %v", err)
 	}
 	// The abandoned waiter must not have disturbed the stored entry.
-	if _, hit, err := c.fetch(context.Background(), "d", "k", func() ([]*executor.Viz, error) {
+	if _, hit, err := c.fetch(context.Background(), "d", "k", func() (cachedCandidates, error) {
 		t.Error("entry should be cached")
-		return nil, nil
+		return cachedCandidates{}, nil
 	}); err != nil || !hit {
 		t.Fatalf("post-flight fetch hit=%v err=%v, want cached hit", hit, err)
 	}

@@ -234,16 +234,16 @@ func TestFetchPanicSafety(t *testing.T) {
 				t.Fatal("build panic must propagate to the leader")
 			}
 		}()
-		c.fetch(context.Background(), "d", "k", func() ([]*executor.Viz, error) { panic("boom") })
+		c.fetch(context.Background(), "d", "k", func() (cachedCandidates, error) { panic("boom") })
 	}()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		vizs, hit, err := c.fetch(context.Background(), "d", "k", func() ([]*executor.Viz, error) {
-			return []*executor.Viz{}, nil
+		cands, hit, err := c.fetch(context.Background(), "d", "k", func() (cachedCandidates, error) {
+			return cachedCandidates{vizs: []*executor.Viz{}}, nil
 		})
-		if err != nil || hit || vizs == nil {
-			t.Errorf("rebuild after panic: vizs=%v hit=%v err=%v", vizs, hit, err)
+		if err != nil || hit || cands.vizs == nil {
+			t.Errorf("rebuild after panic: cands=%v hit=%v err=%v", cands, hit, err)
 		}
 	}()
 	select {

@@ -58,14 +58,46 @@ type Server struct {
 	searchTimeout atomic.Int64
 }
 
+// indexMinVizs is the corpus size at which a candidate-cache entry also
+// carries a prebuilt shape index: repeated queries then traverse the corpus
+// best-first instead of bounding every candidate. Below it the index build
+// costs more than the first few searches save.
+const indexMinVizs = 256
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithCandidateCacheCapacity bounds the number of cached candidate sets
+// (default 64). n <= 0 keeps the default.
+func WithCandidateCacheCapacity(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.cache = newCandidateCache(n)
+		}
+	}
+}
+
+// WithPlanCacheCapacity bounds the number of cached compiled plans
+// (default 128). n <= 0 keeps the default.
+func WithPlanCacheCapacity(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.plans = newPlanCache(n)
+		}
+	}
+}
+
 // New returns a server with no datasets registered.
-func New() *Server {
+func New(opts ...Option) *Server {
 	s := &Server{
 		indexes:  make(map[string]*dataset.Index),
 		versions: make(map[string]uint64),
 		nl:       nlparser.NewParser(),
 		cache:    newCandidateCache(defaultCacheCapacity),
 		plans:    newPlanCache(defaultPlanCacheCapacity),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/health", s.handleHealth)
@@ -412,14 +444,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	plan = plan.WithParallelism(budget)
-	vizs, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, plan, spec)
+	cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, plan, spec)
 	if err != nil {
 		return // fetchCandidates wrote the error response
 	}
 	// Score under the same context: a disconnecting client (or the
 	// configured per-request timeout) cancels the worker pool instead of
-	// letting an abandoned query keep burning cores.
-	results, err := plan.RunGroupedContext(ctx, vizs)
+	// letting an abandoned query keep burning cores. A cached shape index
+	// routes the search through the best-first traversal (engines it cannot
+	// serve fall back to the flat pipeline inside RunIndexedContext).
+	var results []executor.Result
+	if cands.index != nil {
+		results, err = plan.RunIndexedContext(ctx, cands.index)
+	} else {
+		results, err = plan.RunGroupedContext(ctx, cands.vizs)
+	}
 	if err != nil {
 		writeSearchErr(w, err)
 		return
@@ -459,22 +498,29 @@ func (s *Server) compilePlan(q shape.Query, opts executor.Options) (*executor.Pl
 // a dead request must not start an extraction, but a request dying
 // mid-fetch must not poison coalesced waiters sharing the singleflight —
 // their extraction completes and populates the cache regardless.
-func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds string, version uint64, ix *dataset.Index, plan *executor.Plan, spec dataset.ExtractSpec) ([]*executor.Viz, error) {
+func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds string, version uint64, ix *dataset.Index, plan *executor.Plan, spec dataset.ExtractSpec) (cachedCandidates, error) {
 	if err := ctx.Err(); err != nil {
 		writeSearchErr(w, err)
-		return nil, err
+		return cachedCandidates{}, err
 	}
 	key := cacheKey(ds, version, plan.CandidateKey(spec))
-	vizs, hit, err := s.cache.fetch(ctx, ds, key, func() ([]*executor.Viz, error) {
+	cands, hit, err := s.cache.fetch(ctx, ds, key, func() (cachedCandidates, error) {
 		series, err := ix.Extract(plan.EffectiveSpec(spec))
 		if err != nil {
-			return nil, err
+			return cachedCandidates{}, err
 		}
-		return plan.GroupSeries(series), nil
+		vizs := plan.GroupSeries(series)
+		cc := cachedCandidates{vizs: vizs}
+		if len(vizs) >= indexMinVizs {
+			// The index is query-independent (built from the vizs alone), so
+			// every plan sharing this candidate key shares it too.
+			cc.index = executor.BuildVizIndex(vizs, 0)
+		}
+		return cc, nil
 	})
 	if err != nil {
 		writeSearchErr(w, err)
-		return nil, err
+		return cachedCandidates{}, err
 	}
 	if !hit {
 		// Re-check the version after the store: if the dataset was replaced
@@ -490,7 +536,7 @@ func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds 
 			s.cache.remove(key)
 		}
 	}
-	return vizs, nil
+	return cands, nil
 }
 
 // searchBatch executes the batch form of /api/search: every query is
@@ -541,11 +587,16 @@ func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req sea
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		vizs, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, group[0], spec)
+		cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, group[0], spec)
 		if err != nil {
 			return // fetchCandidates wrote the error response
 		}
-		res, err := mp.RunGroupedContext(ctx, vizs)
+		var res [][]executor.Result
+		if cands.index != nil {
+			res, err = mp.RunIndexedContext(ctx, cands.index)
+		} else {
+			res, err = mp.RunGroupedContext(ctx, cands.vizs)
+		}
 		if err != nil {
 			writeSearchErr(w, err)
 			return

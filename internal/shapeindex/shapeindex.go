@@ -1,0 +1,407 @@
+// Package shapeindex implements the corpus-level shape index: a sharded
+// hierarchy of candidate-visualization buckets whose merged slope-interval
+// envelopes provably dominate every member's sound score upper bound, for
+// any query. A search traverses each shard best-first by envelope bound and
+// stops as soon as the best remaining envelope falls below the live top-k
+// floor — on a separated corpus that skips almost every bucket, making
+// candidate selection sub-linear in the corpus size.
+//
+// The package is deliberately query-agnostic: a Summary carries only the
+// query-independent bound ingredients (per-visualization adjacent-pair
+// slope extremes with prefix sums, the grid-irregularity ratio, the point
+// count, the evaluation-failure flag, and a coarse up/down direction sketch
+// used as the build-time bucketing key). The executor supplies the bound
+// function that maps a compiled query over a Summary; this package owns the
+// structure: envelope merging, bucketing, sharding, and best-first
+// traversal.
+//
+// Envelope-dominance invariant (the soundness contract, pinned by
+// executor.TestIndexedBoundDominatesSound): for every node, Bound(node.Env)
+// ≥ Bound(member) for every member summary beneath it, for every bound
+// function the executor derives from a compiled query. Merge guarantees the
+// Summary-level preconditions:
+//
+//   - Low/High extreme arrays are merged elementwise (min/max) and
+//     truncated to the SHORTEST member array. Truncation is what keeps the
+//     capped-extreme evaluation dominant: a longer envelope array would
+//     spread the weight cap onto deeper, less extreme slopes and could fall
+//     below a member's value; parking the leftover weight on the last
+//     stored extreme errs outward instead (looser, never unsound).
+//   - N is the minimum member point count: the executor's width floor is
+//     monotone nondecreasing in the point count, so the envelope's floor is
+//     ≤ every member's, its weight cap ≥ theirs, its slope interval ⊇
+//     theirs.
+//   - Ratio is the maximum member grid ratio (the weight cap grows with
+//     irregularity), MayFail is the OR of member flags (it only ever forces
+//     lower bounds down), and NPairs is the minimum — a single unboundable
+//     member (no valid pair) makes the whole envelope unboundable (+Inf),
+//     so it is never wrongly skipped.
+package shapeindex
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Summary is the query-independent bound state of one candidate
+// visualization (or the merged envelope of a bucket of them). Field
+// semantics mirror the executor's pruneStats; see the package comment for
+// the envelope merge rules.
+type Summary struct {
+	// N is the point count (minimum over members for envelopes).
+	N int
+	// NPairs counts valid adjacent pairs; 0 means unboundable (+Inf).
+	NPairs int
+	// Low holds the smallest adjacent-pair slopes, ascending; High the
+	// largest, descending. LowPrefix[i] = Σ Low[:i] (same for High).
+	Low, LowPrefix   []float64
+	High, HighPrefix []float64
+	// Ratio is the max/min adjacent-gap ratio of the normalized grid
+	// (+Inf when degenerate); maximum over members for envelopes.
+	Ratio float64
+	// MayFail marks evaluation paths that can force a −1 score below any
+	// slope-derived minimum (skip masks, degenerate fits); OR over members.
+	MayFail bool
+	// UpDown is the coarse per-window direction sketch (−1/0/+1) used as
+	// the build-time bucketing key so buckets hold look-alike shapes and
+	// their envelopes stay tight. Nil on envelopes; never read at query
+	// time — bucketing affects only pruning effectiveness, not soundness.
+	UpDown []int8
+}
+
+// Boundable reports whether the summary carries a usable slope interval;
+// unboundable summaries must be bounded as +Inf (never skipped).
+func (s *Summary) Boundable() bool {
+	return s.NPairs > 0 && len(s.Low) > 0 && len(s.High) > 0
+}
+
+// fold merges src into dst under the envelope rules, leaving prefix sums
+// stale (finalize recomputes them once per envelope).
+func (dst *Summary) fold(src *Summary) {
+	if src.N < dst.N {
+		dst.N = src.N
+	}
+	if src.NPairs < dst.NPairs {
+		dst.NPairs = src.NPairs
+	}
+	if src.Ratio > dst.Ratio {
+		dst.Ratio = src.Ratio
+	}
+	dst.MayFail = dst.MayFail || src.MayFail
+	if l := len(src.Low); l < len(dst.Low) {
+		dst.Low = dst.Low[:l]
+	}
+	for i := range dst.Low {
+		if src.Low[i] < dst.Low[i] {
+			dst.Low[i] = src.Low[i]
+		}
+	}
+	if l := len(src.High); l < len(dst.High) {
+		dst.High = dst.High[:l]
+	}
+	for i := range dst.High {
+		if src.High[i] > dst.High[i] {
+			dst.High[i] = src.High[i]
+		}
+	}
+}
+
+// finalize rebuilds the prefix sums after a fold sequence.
+func (s *Summary) finalize() {
+	s.LowPrefix = prefixSums(s.Low, s.LowPrefix)
+	s.HighPrefix = prefixSums(s.High, s.HighPrefix)
+}
+
+func prefixSums(sel, buf []float64) []float64 {
+	if cap(buf) < len(sel)+1 {
+		buf = make([]float64, len(sel)+1)
+	}
+	buf = buf[:len(sel)+1]
+	buf[0] = 0
+	for i, v := range sel {
+		buf[i+1] = buf[i] + v
+	}
+	return buf
+}
+
+// Envelope returns a fresh Summary dominating every input (Merge of all).
+// At least one input is required.
+func Envelope(sums []*Summary) *Summary {
+	e := &Summary{
+		N:       sums[0].N,
+		NPairs:  sums[0].NPairs,
+		Ratio:   sums[0].Ratio,
+		MayFail: sums[0].MayFail,
+		Low:     append([]float64(nil), sums[0].Low...),
+		High:    append([]float64(nil), sums[0].High...),
+	}
+	for _, s := range sums[1:] {
+		e.fold(s)
+	}
+	e.finalize()
+	return e
+}
+
+// Node is one level of a shard's envelope hierarchy: internal nodes carry
+// children, leaves carry the member ids (indices into the summaries slice
+// Build was given, ascending). Every node's Env dominates every member
+// summary beneath it.
+type Node struct {
+	Env      *Summary
+	Children []*Node
+	Members  []int32
+	// MinID is the smallest member id under the node — the deterministic
+	// heap tie-break, so traversal order is reproducible for equal bounds.
+	MinID int32
+}
+
+// Index is the built corpus index: per-shard envelope trees over disjoint
+// bucket sets. Shards partition the leaf buckets round-robin, so planted
+// strong candidates land in every shard and each shard's traversal raises
+// the shared floor early. Immutable after Build; safe for concurrent
+// traversal.
+type Index struct {
+	shards []*Node
+	n      int
+}
+
+// Build constructs the index over the given summaries (nil entries — e.g.
+// ungroupable candidates — are skipped and never reported by traversal).
+// shards <= 0 picks GOMAXPROCS. Construction is deterministic for a given
+// (summaries, shards) input.
+func Build(sums []*Summary, shards int) *Index {
+	const (
+		leafSize = 64
+		fanout   = 8
+	)
+	ids := make([]int32, 0, len(sums))
+	n := 0
+	for i, s := range sums {
+		if s != nil {
+			ids = append(ids, int32(i))
+			n++
+		}
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	ix := &Index{n: n}
+	if len(ids) == 0 {
+		return ix
+	}
+	// Bucketing key: unboundable summaries first (quarantined in their own
+	// buckets so their +Inf bound cannot poison a neighbor's envelope),
+	// then lexicographic coarse direction sketch — look-alike shapes bucket
+	// together, which is what keeps envelopes tight — with slope extremes
+	// and the id as deterministic refinements.
+	sort.SliceStable(ids, func(a, b int) bool {
+		sa, sb := sums[ids[a]], sums[ids[b]]
+		ba, bb := sa.Boundable(), sb.Boundable()
+		if ba != bb {
+			return !ba
+		}
+		if ba {
+			if c := compareUpDown(sa.UpDown, sb.UpDown); c != 0 {
+				return c < 0
+			}
+			if sa.High[0] != sb.High[0] {
+				return sa.High[0] < sb.High[0]
+			}
+			if sa.Low[0] != sb.Low[0] {
+				return sa.Low[0] < sb.Low[0]
+			}
+		}
+		return ids[a] < ids[b]
+	})
+	var leaves []*Node
+	for off := 0; off < len(ids); off += leafSize {
+		end := off + leafSize
+		if end > len(ids) {
+			end = len(ids)
+		}
+		members := append([]int32(nil), ids[off:end]...)
+		memberSums := make([]*Summary, len(members))
+		for i, id := range members {
+			memberSums[i] = sums[id]
+		}
+		env := Envelope(memberSums)
+		env.UpDown = nil
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		leaves = append(leaves, &Node{Env: env, Members: members, MinID: members[0]})
+	}
+	if shards > len(leaves) {
+		shards = len(leaves)
+	}
+	ix.shards = make([]*Node, shards)
+	for si := 0; si < shards; si++ {
+		var own []*Node
+		for li := si; li < len(leaves); li += shards {
+			own = append(own, leaves[li])
+		}
+		ix.shards[si] = buildTree(own, fanout)
+	}
+	return ix
+}
+
+// buildTree folds a shard's leaves bottom-up into a fanout-ary tree.
+func buildTree(level []*Node, fanout int) *Node {
+	for len(level) > 1 {
+		next := make([]*Node, 0, (len(level)+fanout-1)/fanout)
+		for off := 0; off < len(level); off += fanout {
+			end := off + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			children := level[off:end:end]
+			envs := make([]*Summary, len(children))
+			minID := children[0].MinID
+			for i, c := range children {
+				envs[i] = c.Env
+				if c.MinID < minID {
+					minID = c.MinID
+				}
+			}
+			next = append(next, &Node{Env: Envelope(envs), Children: children, MinID: minID})
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Len reports the number of indexed (non-nil) summaries.
+func (ix *Index) Len() int { return ix.n }
+
+// NumShards reports the shard count.
+func (ix *Index) NumShards() int { return len(ix.shards) }
+
+// Traverse runs a best-first descent of one shard: nodes pop in descending
+// bound order (ties broken by ascending MinID), a popped subtree whose
+// bound trails floor() by more than eps prunes the entire remaining
+// frontier (the heap guarantees every unpopped bound is no larger, and the
+// caller's floor is monotone), and each surviving leaf is handed to visit
+// in pop order. visit returning false aborts the descent. bound must be
+// the executor's envelope bound — any function satisfying the dominance
+// invariant over this index's envelopes.
+func (ix *Index) Traverse(shard int, bound func(*Summary) float64, floor func() float64, eps float64, visit func(members []int32, ub float64) bool) {
+	root := ix.shards[shard]
+	if root == nil {
+		return
+	}
+	h := nodeHeap{{n: root, ub: bound(root.Env)}}
+	for len(h) > 0 {
+		top := h.pop()
+		if top.ub < floor()-eps {
+			return // every remaining subtree is bounded even lower
+		}
+		if top.n.Members != nil {
+			if !visit(top.n.Members, top.ub) {
+				return
+			}
+			continue
+		}
+		for _, c := range top.n.Children {
+			ub := bound(c.Env)
+			if ub > top.ub {
+				// The parent envelope dominates the child's by
+				// construction; clamp out any float wobble so heap order
+				// stays consistent with the dominance invariant.
+				ub = top.ub
+			}
+			h.push(heapItem{n: c, ub: ub})
+		}
+	}
+}
+
+// Walk visits every node of every shard together with all leaf member ids
+// beneath it (ascending). It exists for invariant checks and tests.
+func (ix *Index) Walk(fn func(env *Summary, members []int32)) {
+	var rec func(n *Node) []int32
+	rec = func(n *Node) []int32 {
+		var members []int32
+		if n.Members != nil {
+			members = n.Members
+		} else {
+			for _, c := range n.Children {
+				members = append(members, rec(c)...)
+			}
+			sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		}
+		fn(n.Env, members)
+		return members
+	}
+	for _, root := range ix.shards {
+		if root != nil {
+			rec(root)
+		}
+	}
+}
+
+func compareUpDown(a, b []int8) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return int(a[i]) - int(b[i])
+		}
+	}
+	return len(a) - len(b)
+}
+
+// heapItem is one frontier entry of the best-first descent.
+type heapItem struct {
+	n  *Node
+	ub float64
+}
+
+// nodeHeap is a max-heap by (ub desc, MinID asc) — the deterministic pop
+// order Traverse documents.
+type nodeHeap []heapItem
+
+func (h heapItem) before(o heapItem) bool {
+	if h.ub != o.ub {
+		return h.ub > o.ub
+	}
+	return h.n.MinID < o.n.MinID
+}
+
+func (h *nodeHeap) push(it heapItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() heapItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(s) && s[l].before(s[best]) {
+			best = l
+		}
+		if r < len(s) && s[r].before(s[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}

@@ -1,0 +1,223 @@
+package shapeindex
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randomSummary fabricates a plausible per-viz summary: sorted slope
+// extremes of random depth, a grid ratio ≥ 1, and a random direction
+// sketch.
+func randomSummary(rng *rand.Rand) *Summary {
+	nExt := 1 + rng.Intn(5)
+	low := make([]float64, nExt)
+	high := make([]float64, nExt)
+	for i := range low {
+		low[i] = rng.NormFloat64() * 3
+		high[i] = rng.NormFloat64() * 3
+	}
+	sort.Float64s(low)
+	sort.Sort(sort.Reverse(sort.Float64Slice(high)))
+	ud := make([]int8, 8)
+	for i := range ud {
+		ud[i] = int8(rng.Intn(3) - 1)
+	}
+	s := &Summary{
+		N:       16 + rng.Intn(100),
+		NPairs:  1 + rng.Intn(40),
+		Low:     low,
+		High:    high,
+		Ratio:   1 + rng.Float64()*3,
+		MayFail: rng.Intn(4) == 0,
+		UpDown:  ud,
+	}
+	s.finalize()
+	return s
+}
+
+// cappedExtreme mirrors the executor's evaluation: stack weight vmax on the
+// most extreme slopes, park the leftover on the last stored one.
+func cappedExtreme(sel, prefix []float64, vmax float64, hi bool) float64 {
+	full := int(1 / vmax)
+	if max := len(sel) - 1; full > max {
+		full = max
+	}
+	rem := 1 - float64(full)*vmax
+	return vmax*prefix[full] + rem*sel[full]
+}
+
+// TestEnvelopeDominatesCappedExtremes is the Summary-level half of the
+// dominance invariant: for every weight cap, the envelope's capped-extreme
+// high is ≥ every member's and its low is ≤ every member's, and the scalar
+// fields merge conservatively (min N/NPairs, max Ratio, OR MayFail).
+func TestEnvelopeDominatesCappedExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		members := make([]*Summary, 1+rng.Intn(6))
+		for i := range members {
+			members[i] = randomSummary(rng)
+		}
+		env := Envelope(members)
+		for _, m := range members {
+			if env.N > m.N || env.NPairs > m.NPairs || env.Ratio < m.Ratio {
+				t.Fatalf("trial %d: scalar merge not conservative: env{N:%d P:%d R:%g} member{N:%d P:%d R:%g}",
+					trial, env.N, env.NPairs, env.Ratio, m.N, m.NPairs, m.Ratio)
+			}
+			if m.MayFail && !env.MayFail {
+				t.Fatalf("trial %d: MayFail not propagated", trial)
+			}
+			for _, vmax := range []float64{1, 0.7, 0.5, 0.33, 0.21, 0.125, 0.06} {
+				eh := cappedExtreme(env.High, env.HighPrefix, vmax, true)
+				mh := cappedExtreme(m.High, m.HighPrefix, vmax, true)
+				if eh < mh-1e-12 {
+					t.Fatalf("trial %d vmax=%g: envelope high %g < member %g", trial, vmax, eh, mh)
+				}
+				el := cappedExtreme(env.Low, env.LowPrefix, vmax, false)
+				ml := cappedExtreme(m.Low, m.LowPrefix, vmax, false)
+				if el > ml+1e-12 {
+					t.Fatalf("trial %d vmax=%g: envelope low %g > member %g", trial, vmax, el, ml)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeUnboundableMember: one NPairs==0 member must make the whole
+// envelope unboundable so traversal can never skip its bucket.
+func TestEnvelopeUnboundableMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSummary(rng)
+	b := &Summary{N: 5, NPairs: 0, Ratio: math.Inf(1)}
+	env := Envelope([]*Summary{a, b})
+	if env.Boundable() {
+		t.Fatal("envelope over an unboundable member must be unboundable")
+	}
+}
+
+// TestBuildPartitionsAndDeterminism: every non-nil summary lands in exactly
+// one leaf across all shards, and two builds of the same input are
+// structurally identical.
+func TestBuildPartitionsAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sums := make([]*Summary, 500)
+	for i := range sums {
+		if i%17 == 0 {
+			continue // holes: ungroupable candidates
+		}
+		sums[i] = randomSummary(rng)
+	}
+	for _, shards := range []int{1, 3, 7} {
+		ix := Build(sums, shards)
+		seen := make(map[int32]int)
+		for si := 0; si < ix.NumShards(); si++ {
+			ix.Traverse(si,
+				func(*Summary) float64 { return 1 },
+				func() float64 { return math.Inf(-1) },
+				0,
+				func(members []int32, _ float64) bool {
+					for _, id := range members {
+						seen[id]++
+					}
+					return true
+				})
+		}
+		for i, s := range sums {
+			want := 0
+			if s != nil {
+				want = 1
+			}
+			if seen[int32(i)] != want {
+				t.Fatalf("shards=%d: id %d visited %d times, want %d", shards, i, seen[int32(i)], want)
+			}
+		}
+		if got := len(seen); got != ix.Len() {
+			t.Fatalf("shards=%d: %d distinct ids, index says %d", shards, got, ix.Len())
+		}
+		again := Build(sums, shards)
+		if !reflect.DeepEqual(collectLeaves(ix), collectLeaves(again)) {
+			t.Fatalf("shards=%d: two builds of the same input differ", shards)
+		}
+	}
+}
+
+func collectLeaves(ix *Index) [][]int32 {
+	var out [][]int32
+	ix.Walk(func(env *Summary, members []int32) {
+		out = append(out, members)
+	})
+	return out
+}
+
+// TestWalkEnvelopesDominate: Walk must pair every node with exactly the
+// members beneath it, and folding those members reproduces a summary the
+// node's envelope dominates (same capped-extreme check as above).
+func TestWalkEnvelopesDominate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sums := make([]*Summary, 300)
+	for i := range sums {
+		sums[i] = randomSummary(rng)
+	}
+	ix := Build(sums, 4)
+	nodes := 0
+	ix.Walk(func(env *Summary, members []int32) {
+		nodes++
+		if len(members) == 0 {
+			t.Fatal("node with no members")
+		}
+		for _, id := range members {
+			m := sums[id]
+			for _, vmax := range []float64{1, 0.5, 0.2} {
+				if eh, mh := cappedExtreme(env.High, env.HighPrefix, vmax, true), cappedExtreme(m.High, m.HighPrefix, vmax, true); eh < mh-1e-12 {
+					t.Fatalf("node envelope high %g < member %d high %g (vmax=%g)", eh, id, mh, vmax)
+				}
+			}
+		}
+	})
+	if nodes == 0 {
+		t.Fatal("walk visited nothing")
+	}
+}
+
+// TestTraverseStopsAtFloor: with a floor above every envelope bound the
+// traversal must visit nothing; with −Inf it visits every leaf in
+// descending bound order.
+func TestTraverseStopsAtFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sums := make([]*Summary, 400)
+	for i := range sums {
+		sums[i] = randomSummary(rng)
+	}
+	ix := Build(sums, 2)
+	bound := func(s *Summary) float64 {
+		if !s.Boundable() {
+			return math.Inf(1)
+		}
+		return s.High[0]
+	}
+	visited := 0
+	for si := 0; si < ix.NumShards(); si++ {
+		ix.Traverse(si, bound, func() float64 { return math.Inf(1) }, 0,
+			func([]int32, float64) bool { visited++; return true })
+	}
+	if visited != 0 {
+		t.Fatalf("floor above every bound: visited %d leaves, want 0", visited)
+	}
+	for si := 0; si < ix.NumShards(); si++ {
+		last := math.Inf(1)
+		ix.Traverse(si, bound, func() float64 { return math.Inf(-1) }, 0,
+			func(_ []int32, ub float64) bool {
+				if ub > last+1e-12 {
+					t.Fatalf("leaf bounds not descending: %g after %g", ub, last)
+				}
+				last = ub
+				visited++
+				return true
+			})
+	}
+	if visited == 0 {
+		t.Fatal("no floor: traversal visited nothing")
+	}
+}
