@@ -11,6 +11,8 @@
 //	curl -s -X POST localhost:8080/api/search -d '{
 //	  "kind":"nl","query":"rising then falling",
 //	  "dataset":"stocks","z":"symbol","x":"day","y":"price","k":3}'
+//	curl -s -X POST 'localhost:8080/api/append?dataset=prices' \
+//	  --data-binary @new_rows.csv
 package main
 
 import (
@@ -45,6 +47,8 @@ func main() {
 		"compiled-plan cache capacity in entries (0 = default 128)")
 	searchTimeout := flag.Duration("search-timeout", 0,
 		"per-request scoring deadline (e.g. 5s; 0 = unbounded); expired searches return 503 and free their workers")
+	rebuildThreshold := flag.Int("index-rebuild-threshold", 0,
+		"appended/patched viz count after which a cached shape index is rebuilt in the background (0 = default 1024)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "register a CSV dataset as name=path (repeatable)")
 	flag.Parse()
@@ -52,6 +56,7 @@ func main() {
 	srv := server.New(
 		server.WithCandidateCacheCapacity(*candidateCache),
 		server.WithPlanCacheCapacity(*planCache),
+		server.WithIndexRebuildThreshold(*rebuildThreshold),
 	)
 	if *noCache {
 		srv.DisableCache()

@@ -108,6 +108,29 @@ func (t *Table) Column(name string) (*Column, error) {
 	return &t.cols[i], nil
 }
 
+// DistinctValues returns the sorted distinct rendered values of the named
+// column — the grouping keys it would contribute as a z attribute. The
+// incremental append path uses it to learn which z groups a delta batch
+// touches.
+func (t *Table) DistinctValues(name string) ([]string, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, 16)
+	out := make([]string, 0, 16)
+	for i := 0; i < c.Len(); i++ {
+		v := c.ValueString(i)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // FilterOp is a comparison operator in a filter predicate.
 type FilterOp int
 

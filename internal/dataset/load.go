@@ -34,6 +34,77 @@ func FromCSV(r io.Reader) (*Table, error) {
 	return New(cols...)
 }
 
+// FromCSVSchema reads CSV rows under an existing table's schema: the
+// header must list exactly the schema's columns (any order), and every
+// cell is parsed per the schema column's declared type instead of being
+// re-inferred — so an append batch whose string column happens to look
+// numeric still lands as strings. Unparsable numeric cells are an error
+// (not a silent NaN: an append delta is small enough to reject outright);
+// empty numeric cells become NaN as in FromCSV.
+func FromCSVSchema(r io.Reader, schema *Table) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no header row")
+	}
+	header := records[0]
+	body := records[1:]
+	if len(header) != schema.NumCols() {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), schema.NumCols())
+	}
+	// srcOf[j] is the CSV column holding schema column j.
+	srcOf := make([]int, schema.NumCols())
+	used := make([]bool, len(header))
+	for j, name := range schema.ColumnNames() {
+		found := -1
+		for k, h := range header {
+			if h == name && !used[k] {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("dataset: CSV is missing column %q", name)
+		}
+		used[found] = true
+		srcOf[j] = found
+	}
+	cols := make([]Column, schema.NumCols())
+	for j := range cols {
+		sc := &schema.cols[j]
+		k := srcOf[j]
+		c := Column{Name: sc.Name, Type: sc.Type}
+		if sc.Type == Float {
+			c.Floats = make([]float64, len(body))
+			for i, rec := range body {
+				if k >= len(rec) || rec[k] == "" {
+					c.Floats[i] = nan()
+					continue
+				}
+				v, err := strconv.ParseFloat(rec[k], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %q row %d: %q is not numeric", sc.Name, i+1, rec[k])
+				}
+				c.Floats[i] = v
+			}
+		} else {
+			c.Strings = make([]string, len(body))
+			for i, rec := range body {
+				if k < len(rec) {
+					c.Strings[i] = rec[k]
+				}
+			}
+		}
+		cols[j] = c
+	}
+	return New(cols...)
+}
+
 // OpenCSV loads a CSV file from disk.
 func OpenCSV(path string) (*Table, error) {
 	f, err := os.Open(path)

@@ -48,6 +48,7 @@ const lazyIndexMinCorpus = 4096
 // Immutable after build; safe for concurrent searches.
 type VizIndex struct {
 	vizs []*Viz
+	sums []*shapeindex.Summary
 	ix   *shapeindex.Index
 }
 
@@ -63,8 +64,48 @@ func BuildVizIndex(vizs []*Viz, shards int) *VizIndex {
 			sums[i] = vizs[i].boundSummary()
 		}
 	})
-	return &VizIndex{vizs: vizs, ix: shapeindex.Build(sums, shards)}
+	return &VizIndex{vizs: vizs, sums: sums, ix: shapeindex.Build(sums, shards)}
 }
+
+// Update absorbs an append delta: vizs is the FULL new candidate slice
+// (same positions as before, possibly longer at the end), and changed lists
+// the positions whose Viz objects were replaced or appended. Only those
+// positions are re-summarized and patched into the envelope hierarchy
+// (shapeindex.Index.Update) — O(|changed| · leaf + dirtyLeaves · log N),
+// never O(corpus). The receiver is left untouched, so searches running
+// against the old index stay correct; and because indexed search results
+// are byte-identical to a flat scan for ANY sound index, the patched
+// index's different bucket composition cannot change what a query returns.
+//
+// Positions must be stable: the ids the index reports are ranking
+// tie-breaks, so callers that insert mid-slice must rebuild instead.
+func (x *VizIndex) Update(vizs []*Viz, changed []int) *VizIndex {
+	sums := make([]*shapeindex.Summary, len(vizs))
+	copy(sums, x.sums)
+	ids := make([]int32, 0, len(changed))
+	for _, i := range changed {
+		if i < 0 || i >= len(vizs) {
+			continue
+		}
+		if vizs[i] != nil {
+			sums[i] = vizs[i].boundSummary()
+		} else {
+			sums[i] = nil
+		}
+		ids = append(ids, int32(i))
+	}
+	for i := len(x.sums); i < len(vizs); i++ {
+		if sums[i] == nil && vizs[i] != nil {
+			sums[i] = vizs[i].boundSummary()
+		}
+	}
+	return &VizIndex{vizs: vizs, sums: sums, ix: x.ix.Update(sums, ids)}
+}
+
+// Staleness reports how many candidate positions Update has patched since
+// the index was last fully built — the signal rebuild policies threshold
+// on, since patched buckets lose clustering tightness over time.
+func (x *VizIndex) Staleness() int { return x.ix.Staleness() }
 
 // Vizs returns the indexed candidate slice (shared, read-only).
 func (x *VizIndex) Vizs() []*Viz { return x.vizs }
@@ -305,6 +346,9 @@ func (p *Plan) runIndexed(ctx context.Context, ix *VizIndex, st *IndexStats) ([]
 				base := len(recs)
 				for _, id := range members {
 					v := ix.vizs[id]
+					if v == nil {
+						continue // update-nilled slot: folds unboundable, nothing to score
+					}
 					recs = append(recs, idxRec{id: id, s: slot{v: v, ub: soundUpperBound(ec, v, p.norm, o), pruned: true}})
 				}
 				bucket := recs[base:]
@@ -543,20 +587,24 @@ func (mp *MultiPlan) runMultiIndexed(ctx context.Context, plans []*Plan, ix *Viz
 					return false
 				}
 				base := len(recs[0])
-				m := len(members)
-				maxUB := make([]float64, m)
-				for mi, id := range members {
+				maxUB := make([]float64, 0, len(members))
+				for _, id := range members {
 					v := ix.vizs[id]
+					if v == nil {
+						continue // update-nilled slot: folds unboundable, nothing to score
+					}
 					ec.resetBoundCaches(o0.chainMeta)
-					maxUB[mi] = math.Inf(-1)
+					ub0 := math.Inf(-1)
 					for qi, p := range plans {
 						ub := soundUpperBoundShared(ec, v, p.norm, p.opts)
 						recs[qi] = append(recs[qi], idxRec{id: id, s: slot{v: v, ub: ub, pruned: true}})
-						if ub > maxUB[mi] {
-							maxUB[mi] = ub
+						if ub > ub0 {
+							ub0 = ub
 						}
 					}
+					maxUB = append(maxUB, ub0)
 				}
+				m := len(maxUB)
 				// Score in descending max-over-queries bound order (members
 				// arrive id-ascending, so index order breaks ties like
 				// runMulti's input order does).

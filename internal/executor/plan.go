@@ -215,6 +215,17 @@ func (p *Plan) CandidateKey(spec dataset.ExtractSpec) string {
 	return sb.String()
 }
 
+// PinFree reports whether the plan's grouped candidate set is per-series
+// local: no push-down pinned windows filter series in or out of the
+// collection, and no skip-window padding depends on the collection's
+// sampling interval. Exactly these plans admit per-group cache patching on
+// append — GroupSeries over any one series is independent of the others, so
+// a touched group can be regrouped alone and spliced into a cached slice.
+// Pinned push-down plans must be dropped and rebuilt instead.
+func (p *Plan) PinFree() bool {
+	return !p.opts.Pushdown || len(p.pinned) == 0
+}
+
 // groupCfg builds the GROUP configuration for a series collection (the
 // skip-window padding depends on the collection's sampling interval).
 func (p *Plan) groupCfg(series []dataset.Series) groupConfig {

@@ -216,8 +216,7 @@ func (v *Viz) pruneSlopeStats() *pruneStats {
 		// width floor (≈ m/1.5 slopes for m = 0.05·n points, see
 		// maxSlopeWeight); +2 absorbs rounding.
 		r := (n-1)/30 + 2
-		low := make([]float64, 0, r)
-		high := make([]float64, 0, r)
+		ext := segstat.NewExtremes(r)
 		dMin, dMax := math.Inf(1), math.Inf(-1)
 		pairs := 0
 		for i := 0; i+1 < n; i++ {
@@ -229,8 +228,7 @@ func (v *Viz) pruneSlopeStats() *pruneStats {
 				continue
 			}
 			pairs++
-			low = insertAsc(low, r, s)
-			high = insertDesc(high, r, s)
+			ext.Observe(s)
 			d := v.NX[i+1] - v.NX[i]
 			if d < dMin {
 				dMin = d
@@ -239,19 +237,12 @@ func (v *Viz) pruneSlopeStats() *pruneStats {
 				dMax = d
 			}
 		}
-		lowPrefix := make([]float64, len(low)+1)
-		highPrefix := make([]float64, len(high)+1)
-		for i, s := range low {
-			lowPrefix[i+1] = lowPrefix[i] + s
-		}
-		for i, s := range high {
-			highPrefix[i+1] = highPrefix[i] + s
-		}
+		lowPrefix, highPrefix := ext.PrefixSums()
 		ratio := math.Inf(1)
 		if dMin > 0 {
 			ratio = dMax / dMin
 		}
-		v.pstats = pruneStats{nPairs: pairs, low: low, lowPrefix: lowPrefix, high: high, highPrefix: highPrefix, ratio: ratio}
+		v.pstats = pruneStats{nPairs: pairs, low: ext.Low(), lowPrefix: lowPrefix, high: ext.High(), highPrefix: highPrefix, ratio: ratio}
 	})
 	return &v.pstats
 }
@@ -279,42 +270,6 @@ func (v *Viz) boundSummary() *shapeindex.Summary {
 		MayFail:    v.Skipped != nil || math.IsInf(ps.ratio, 1),
 		UpDown:     sketch.Directions(v.NX, v.NY, indexPAAWindows),
 	}
-}
-
-// insertAsc maintains the r smallest values seen, ascending.
-func insertAsc(sel []float64, r int, s float64) []float64 {
-	if len(sel) == r {
-		if s >= sel[r-1] {
-			return sel
-		}
-		sel = sel[:r-1]
-	}
-	i := len(sel)
-	sel = append(sel, s)
-	for i > 0 && sel[i-1] > s {
-		sel[i] = sel[i-1]
-		i--
-	}
-	sel[i] = s
-	return sel
-}
-
-// insertDesc maintains the r largest values seen, descending.
-func insertDesc(sel []float64, r int, s float64) []float64 {
-	if len(sel) == r {
-		if s <= sel[r-1] {
-			return sel
-		}
-		sel = sel[:r-1]
-	}
-	i := len(sel)
-	sel = append(sel, s)
-	for i > 0 && sel[i-1] < s {
-		sel[i] = sel[i-1]
-		i--
-	}
-	sel[i] = s
-	return sel
 }
 
 // yRange reports the min and max of the raw y values (memoized).

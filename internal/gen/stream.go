@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shapesearch/internal/dataset"
+)
+
+// StreamTicks synthesizes a deterministic append-only tick stream for the
+// incremental-ingestion tests and benchmarks: a base table holding the
+// first basePoints points of every series (columns z, x, y), plus nBatches
+// delta tables of batchPoints rows each, in arrival order. Every series
+// walks its own deterministic sub-stream (the DriftPeaksSeries sub-seed
+// scheme), and batch rows pick series from a separate deterministic stream,
+// so the whole schedule reproduces exactly for a given parameter tuple —
+// whatever order the batches are later applied in, concatenating
+// base+batches row-wise always yields the same table.
+//
+// inOrder=true emits each series' points on the integer grid x = 0,1,2,…
+// (the pure-extend streaming case). inOrder=false lets roughly a quarter of
+// appended points arrive late: point k lands at x = (k−d) + ½ + k·1e−6 for
+// a small backlog d — strictly between existing grid points and unique per
+// k, so out-of-order merges are exercised without fabricating duplicate x
+// values (which AggNone extraction rejects).
+func StreamTicks(numSeries, basePoints, nBatches, batchPoints int, seed int64, inOrder bool) (*dataset.Table, []*dataset.Table) {
+	rngs := make([]*rand.Rand, numSeries)
+	ks := make([]int, numSeries)        // next point index per series
+	level := make([]float64, numSeries) // random-walk y level per series
+	names := make([]string, numSeries)
+	for s := range rngs {
+		rngs[s] = rand.New(rand.NewSource(seed + int64(s)*1_000_003))
+		names[s] = fmt.Sprintf("tick%07d", s)
+	}
+	emit := func(s int) (x, y float64) {
+		r := rngs[s]
+		k := ks[s]
+		ks[s]++
+		x = float64(k)
+		if !inOrder && k > 0 && r.Intn(4) == 0 {
+			d := 1 + r.Intn(k)
+			if d > 5 {
+				d = 5
+			}
+			x = float64(k-d) + 0.5 + float64(k)*1e-6
+		}
+		level[s] += r.NormFloat64()
+		return x, level[s]
+	}
+	mkTable := func(zs []string, xs, ys []float64) *dataset.Table {
+		t, err := dataset.New(
+			dataset.Column{Name: "z", Type: dataset.String, Strings: zs},
+			dataset.Column{Name: "x", Type: dataset.Float, Floats: xs},
+			dataset.Column{Name: "y", Type: dataset.Float, Floats: ys},
+		)
+		if err != nil {
+			panic(err) // impossible: columns are constructed equal-length
+		}
+		return t
+	}
+
+	n := numSeries * basePoints
+	zs := make([]string, 0, n)
+	xs := make([]float64, 0, n)
+	ys := make([]float64, 0, n)
+	for s := 0; s < numSeries; s++ {
+		for k := 0; k < basePoints; k++ {
+			x, y := emit(s)
+			zs = append(zs, names[s])
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	base := mkTable(zs, xs, ys)
+
+	// The series-picking stream is independent of the per-series walks so
+	// batch composition (which groups an append touches) is itself a stable
+	// part of the schedule.
+	pick := rand.New(rand.NewSource(seed ^ 0x7ec5_11fe))
+	batches := make([]*dataset.Table, nBatches)
+	for b := range batches {
+		bz := make([]string, batchPoints)
+		bx := make([]float64, batchPoints)
+		by := make([]float64, batchPoints)
+		for i := 0; i < batchPoints; i++ {
+			s := pick.Intn(numSeries)
+			bx[i], by[i] = emit(s)
+			bz[i] = names[s]
+		}
+		batches[b] = mkTable(bz, bx, by)
+	}
+	return base, batches
+}

@@ -1,0 +1,87 @@
+package segstat
+
+// Extremes maintains the r smallest and r largest values of a stream in
+// sorted order, O(r) worst-case (O(1) when the value is not extreme) per
+// observation. ShapeSearch's sound pruning bound keeps the capped-extreme
+// adjacent-pair slopes of each visualization in this form; holding them in a
+// streaming type lets an append path absorb new pairs without revisiting the
+// ones already seen.
+type Extremes struct {
+	r    int
+	low  []float64 // r smallest, ascending
+	high []float64 // r largest, descending
+}
+
+// NewExtremes returns an empty tracker for the r most extreme values per
+// end. r must be positive.
+func NewExtremes(r int) *Extremes {
+	return &Extremes{
+		r:    r,
+		low:  make([]float64, 0, r),
+		high: make([]float64, 0, r),
+	}
+}
+
+// Observe feeds one value.
+func (e *Extremes) Observe(s float64) {
+	e.low = insertAsc(e.low, e.r, s)
+	e.high = insertDesc(e.high, e.r, s)
+}
+
+// Low returns the smallest values seen, ascending. The slice aliases
+// internal state: read-only, invalidated by the next Observe.
+func (e *Extremes) Low() []float64 { return e.low }
+
+// High returns the largest values seen, descending. Same aliasing caveat as
+// Low.
+func (e *Extremes) High() []float64 { return e.high }
+
+// PrefixSums returns fresh prefix-sum arrays over Low and High:
+// lowPrefix[i] = Σ Low()[:i], highPrefix[i] = Σ High()[:i].
+func (e *Extremes) PrefixSums() (lowPrefix, highPrefix []float64) {
+	lowPrefix = make([]float64, len(e.low)+1)
+	highPrefix = make([]float64, len(e.high)+1)
+	for i, s := range e.low {
+		lowPrefix[i+1] = lowPrefix[i] + s
+	}
+	for i, s := range e.high {
+		highPrefix[i+1] = highPrefix[i] + s
+	}
+	return lowPrefix, highPrefix
+}
+
+// insertAsc maintains the r smallest values seen, ascending.
+func insertAsc(sel []float64, r int, s float64) []float64 {
+	if len(sel) == r {
+		if s >= sel[r-1] {
+			return sel
+		}
+		sel = sel[:r-1]
+	}
+	i := len(sel)
+	sel = append(sel, s)
+	for i > 0 && sel[i-1] > s {
+		sel[i] = sel[i-1]
+		i--
+	}
+	sel[i] = s
+	return sel
+}
+
+// insertDesc maintains the r largest values seen, descending.
+func insertDesc(sel []float64, r int, s float64) []float64 {
+	if len(sel) == r {
+		if s <= sel[r-1] {
+			return sel
+		}
+		sel = sel[:r-1]
+	}
+	i := len(sel)
+	sel = append(sel, s)
+	for i > 0 && sel[i-1] < s {
+		sel[i] = sel[i-1]
+		i--
+	}
+	sel[i] = s
+	return sel
+}

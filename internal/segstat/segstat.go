@@ -118,9 +118,22 @@ type Prefix []Stats
 // BuildPrefix constructs the prefix array for a sequence of per-bin stats.
 // len(BuildPrefix(bins)) == len(bins)+1.
 func BuildPrefix(bins []Stats) Prefix {
-	p := make(Prefix, len(bins)+1)
-	for i, b := range bins {
-		p[i+1] = Merge(p[i], b)
+	p := make(Prefix, 1, len(bins)+1)
+	return p.Extend(bins)
+}
+
+// Extend appends per-bin statistics to an existing prefix array and returns
+// the grown array — O(len(bins)) amortized, independent of how many bins the
+// prefix already covers. Because it performs exactly the Merge sequence that
+// BuildPrefix would, BuildPrefix(all) and BuildPrefix(head).Extend(tail) are
+// bit-identical. The receiver's backing array may be reused; callers that
+// shared the old slice should treat Extend like append.
+func (p Prefix) Extend(bins []Stats) Prefix {
+	if len(p) == 0 {
+		p = make(Prefix, 1, len(bins)+1)
+	}
+	for _, b := range bins {
+		p = append(p, Merge(p[len(p)-1], b))
 	}
 	return p
 }

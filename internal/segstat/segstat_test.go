@@ -3,6 +3,7 @@ package segstat
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -258,5 +259,94 @@ func TestMeanStd(t *testing.T) {
 	}
 	if s := Std([]float64{2, 2, 2}); s != 0 {
 		t.Fatalf("std of constant = %v", s)
+	}
+}
+
+// TestPrefixExtendBitIdentical: BuildPrefix(head).Extend(tail) must be
+// bit-for-bit equal to BuildPrefix(head ++ tail) — the property the append
+// path's incremental maintenance relies on.
+func TestPrefixExtendBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(60)
+		bins := make([]Stats, n)
+		for i := range bins {
+			for k := 0; k < r.Intn(4); k++ {
+				bins[i].Add(r.NormFloat64()*100, r.NormFloat64()*100)
+			}
+		}
+		cut := 0
+		if n > 0 {
+			cut = r.Intn(n + 1)
+		}
+		whole := BuildPrefix(bins)
+		grown := BuildPrefix(bins[:cut]).Extend(bins[cut:])
+		if len(whole) != len(grown) {
+			return false
+		}
+		for i := range whole {
+			if whole[i] != grown[i] { // exact float equality, intentionally
+				return false
+			}
+		}
+		// A nil prefix extends like a fresh build.
+		var nilP Prefix
+		fromNil := nilP.Extend(bins)
+		for i := range whole {
+			if whole[i] != fromNil[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtremes checks the streaming capped-extreme tracker against a full
+// sort of the observed values.
+func TestExtremes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rr := 1 + r.Intn(6)
+		n := r.Intn(40)
+		vals := make([]float64, n)
+		e := NewExtremes(rr)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 10
+			e.Observe(vals[i])
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		k := rr
+		if n < k {
+			k = n
+		}
+		low, high := e.Low(), e.High()
+		if len(low) != k || len(high) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if low[i] != sorted[i] || high[i] != sorted[n-1-i] {
+				return false
+			}
+		}
+		lp, hp := e.PrefixSums()
+		if len(lp) != k+1 || len(hp) != k+1 {
+			return false
+		}
+		var ls, hs float64
+		for i := 0; i < k; i++ {
+			ls += low[i]
+			hs += high[i]
+			if lp[i+1] != ls || hp[i+1] != hs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
+	"shapesearch/internal/dataset"
 	"shapesearch/internal/executor"
 )
 
@@ -22,14 +24,47 @@ func cacheKey(dataset string, version uint64, planKey string) string {
 	return fmt.Sprintf("%s\x00%d\x00%s", dataset, version, planKey)
 }
 
+// cacheKeyPrefix is the shared prefix of every cacheKey for one dataset
+// registration; the append patcher uses it to skip entries from an older
+// registration that a concurrent Register has already made unreachable.
+func cacheKeyPrefix(dataset string, version uint64) string {
+	return fmt.Sprintf("%s\x00%d\x00", dataset, version)
+}
+
 // cachedCandidates is one candidate-cache entry's payload: the grouped
 // candidate visualizations plus — for corpus-scale entries — the prebuilt
 // shape index over their bound summaries, so repeated queries pay the index
 // build once alongside EXTRACT + GROUP, not per search. index is nil for
 // small corpora (below indexMinVizs) and when the engine cannot use it.
+//
+// espec, plan and patchable are the append path's repair metadata: the
+// effective extract spec the vizs were built from, one plan whose GROUP
+// configuration produced them (any plan sharing the candidate key works),
+// and whether that configuration is per-series local (Plan.PinFree) so a
+// touched group can be regrouped alone and spliced in place. Searches
+// ignore them.
 type cachedCandidates struct {
-	vizs  []*executor.Viz
-	index *executor.VizIndex
+	vizs      []*executor.Viz
+	index     *executor.VizIndex
+	espec     dataset.ExtractSpec
+	plan      *executor.Plan
+	patchable bool
+	// zpos maps each viz's z value to its position in vizs, so a patch
+	// locates a delta's touched groups in O(|delta|) instead of scanning
+	// the corpus. Only append patchers (serialized on Server.appendMu)
+	// touch it after construction; searches never read it.
+	zpos map[string]int
+}
+
+// buildZPos indexes a viz slice by z value.
+func buildZPos(vizs []*executor.Viz) map[string]int {
+	zpos := make(map[string]int, len(vizs))
+	for i, v := range vizs {
+		if v != nil {
+			zpos[v.Series.Z] = i
+		}
+	}
+	return zpos
 }
 
 // candidateCache memoizes the EXTRACT + GROUP stages of the pipeline: the
@@ -59,6 +94,10 @@ type cacheEntry struct {
 	key     string
 	dataset string
 	cands   cachedCandidates
+	// gen counts in-place rewrites of this entry (append patches, index
+	// installs). Asynchronous writers snapshot it and give up when it moved
+	// — optimistic concurrency instead of holding mu across regrouping.
+	gen uint64
 }
 
 type flight struct {
@@ -93,7 +132,21 @@ func (c *candidateCache) disable() {
 // only for the leader of a fresh build). A waiter whose ctx expires stops
 // waiting and returns ctx.Err(); the leader's build is never canceled —
 // its result still lands in the cache for live requests.
-func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build func() (cachedCandidates, error)) (cands cachedCandidates, hit bool, err error) {
+//
+// dv is the dataset's delta version as the caller observed it. It scopes
+// the singleflight — requests admitted across an append must not share a
+// build, since the earlier leader's extraction may predate the appended
+// rows — while the cache key stays dv-free so stored entries survive
+// appends and are patched in place.
+//
+// validate is consulted under mu at store time and the result is kept only
+// if it returns true. The caller passes a closure re-checking both the
+// dataset version and the delta version, which closes the
+// register/append-vs-store race with no window at all: stores, append
+// patches and invalidation all serialize on mu, so a build that raced a
+// data change is discarded atomically rather than reaped after the fact.
+func (c *candidateCache) fetch(ctx context.Context, dataset, key string, dv uint64, validate func() bool, build func() (cachedCandidates, error)) (cands cachedCandidates, hit bool, err error) {
+	fkey := fmt.Sprintf("%s\x00dv=%d", key, dv)
 	c.mu.Lock()
 	if !c.enabled {
 		c.mu.Unlock()
@@ -107,7 +160,7 @@ func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build f
 		c.mu.Unlock()
 		return cands, true, nil
 	}
-	if f, ok := c.flights[key]; ok {
+	if f, ok := c.flights[fkey]; ok {
 		c.hits++
 		c.mu.Unlock()
 		select {
@@ -119,19 +172,21 @@ func (c *candidateCache) fetch(ctx context.Context, dataset, key string, build f
 	}
 	c.misses++
 	f := &flight{done: make(chan struct{}), err: errBuildAbandoned}
-	c.flights[key] = f
+	c.flights[fkey] = f
 	// The bookkeeping runs in a defer so a panicking build (which net/http
 	// recovers per request) still unregisters the flight and releases its
 	// waiters — with errBuildAbandoned, since f.err was never overwritten —
 	// instead of wedging the key forever.
 	defer func() {
 		c.mu.Lock()
-		delete(c.flights, key)
-		if f.err == nil && c.enabled {
+		delete(c.flights, fkey)
+		if f.err == nil && c.enabled && (validate == nil || validate()) {
 			if el, ok := c.entries[key]; ok {
 				// A concurrent store beat us (e.g. cache re-enabled
 				// mid-flight); refresh in place.
-				el.Value.(*cacheEntry).cands = f.cands
+				e := el.Value.(*cacheEntry)
+				e.cands = f.cands
+				e.gen++
 				c.order.MoveToFront(el)
 			} else {
 				c.entries[key] = c.order.PushFront(&cacheEntry{key: key, dataset: dataset, cands: f.cands})
@@ -195,4 +250,64 @@ func (c *candidateCache) stats() (uint64, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// entrySnapshot is one cached entry as an append patcher observed it: the
+// payload plus the generation to hand back to replace.
+type entrySnapshot struct {
+	key   string
+	gen   uint64
+	cands cachedCandidates
+}
+
+// snapshotDataset captures the entries built from one dataset whose keys
+// carry the given prefix (dataset name + version — entries from an older
+// registration must not be patched with the new index's data). The append
+// patcher works off the snapshot outside mu and writes back through
+// replace, so regrouping cost is never paid under the cache lock.
+func (c *candidateCache) snapshotDataset(dataset, keyPrefix string) []entrySnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []entrySnapshot
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.dataset == dataset && strings.HasPrefix(e.key, keyPrefix) {
+			out = append(out, entrySnapshot{key: e.key, gen: e.gen, cands: e.cands})
+		}
+	}
+	return out
+}
+
+// snapshotOne re-reads a single entry by key, for a patcher whose
+// generation-guarded write-back lost a race and needs fresh state to retry.
+func (c *candidateCache) snapshotOne(key string) (entrySnapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return entrySnapshot{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	return entrySnapshot{key: e.key, gen: e.gen, cands: e.cands}, true
+}
+
+// replace installs a rewritten payload for key iff the entry still exists
+// and its generation is still gen (optimistic concurrency: a concurrent
+// fresh store already reflects the post-append data, so losing the race
+// means there is nothing left to patch). It reports whether the write
+// landed and, if so, the entry's new generation.
+func (c *candidateCache) replace(key string, gen uint64, cands cachedCandidates) (bool, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false, 0
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		return false, 0
+	}
+	e.cands = cands
+	e.gen++
+	return true, e.gen
 }

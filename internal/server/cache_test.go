@@ -8,7 +8,7 @@ import (
 
 func fill(t *testing.T, c *candidateCache, key string) {
 	t.Helper()
-	_, _, err := c.fetch(context.Background(), "ds", key, func() (cachedCandidates, error) {
+	_, _, err := c.fetch(context.Background(), "ds", key, 0, nil, func() (cachedCandidates, error) {
 		return cachedCandidates{}, nil
 	})
 	if err != nil {
@@ -63,11 +63,11 @@ func TestCandidateCacheInvalidateDataset(t *testing.T) {
 	c := newCandidateCache(8)
 	for i := 0; i < 3; i++ {
 		key := fmt.Sprintf("a-%d", i)
-		if _, _, err := c.fetch(context.Background(), "a", key, func() (cachedCandidates, error) { return cachedCandidates{}, nil }); err != nil {
+		if _, _, err := c.fetch(context.Background(), "a", key, 0, nil, func() (cachedCandidates, error) { return cachedCandidates{}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := c.fetch(context.Background(), "b", "b-0", func() (cachedCandidates, error) { return cachedCandidates{}, nil }); err != nil {
+	if _, _, err := c.fetch(context.Background(), "b", "b-0", 0, nil, func() (cachedCandidates, error) { return cachedCandidates{}, nil }); err != nil {
 		t.Fatal(err)
 	}
 	c.invalidateDataset("a")

@@ -234,12 +234,12 @@ func TestFetchPanicSafety(t *testing.T) {
 				t.Fatal("build panic must propagate to the leader")
 			}
 		}()
-		c.fetch(context.Background(), "d", "k", func() (cachedCandidates, error) { panic("boom") })
+		c.fetch(context.Background(), "d", "k", 0, nil, func() (cachedCandidates, error) { panic("boom") })
 	}()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		cands, hit, err := c.fetch(context.Background(), "d", "k", func() (cachedCandidates, error) {
+		cands, hit, err := c.fetch(context.Background(), "d", "k", 0, nil, func() (cachedCandidates, error) {
 			return cachedCandidates{vizs: []*executor.Viz{}}, nil
 		})
 		if err != nil || hit || cands.vizs == nil {

@@ -41,9 +41,25 @@ type Server struct {
 	// dictionary-encoded grouping and vectorized filters.
 	indexes  map[string]*dataset.Index
 	versions map[string]uint64
-	nl       *nlparser.Parser
-	mux      *http.ServeMux
-	cache    *candidateCache
+	// deltaVersions counts appends per dataset. Unlike versions it is NOT
+	// part of the candidate-cache key: cached entries survive appends and
+	// are patched in place, and the delta version scopes the fetch
+	// singleflight and the validate-at-store check instead.
+	deltaVersions map[string]uint64
+	// appendMu serializes AppendRows end to end (index append, delta-version
+	// bump, cache patching) so patchers never interleave. Searches are not
+	// blocked by it.
+	appendMu sync.Mutex
+	// rebuildThreshold is the shape-index staleness (ids touched since the
+	// last full build) past which an append schedules a background rebuild
+	// of a cached entry's index.
+	rebuildThreshold int
+	// rebuildWG tracks in-flight background index rebuilds; tests wait on
+	// it to make rebuild completion deterministic.
+	rebuildWG sync.WaitGroup
+	nl        *nlparser.Parser
+	mux       *http.ServeMux
+	cache     *candidateCache
 	// plans caches compiled executor plans across requests, keyed by the
 	// normalized query fingerprint plus score-relevant options. Plans are
 	// dataset-independent and immutable, so the cache is never invalidated.
@@ -87,14 +103,34 @@ func WithPlanCacheCapacity(n int) Option {
 	}
 }
 
+// defaultRebuildThreshold is the shape-index staleness at which an append
+// schedules a background full rebuild of a cached entry's index. Patched
+// indexes stay sound at any staleness — the threshold only bounds
+// clustering decay (and hence pruning quality), so it can sit well above
+// the typical delta size.
+const defaultRebuildThreshold = 1024
+
+// WithIndexRebuildThreshold sets the shape-index staleness past which an
+// append triggers a background full rebuild of a cached candidate set's
+// index (default 1024 touched ids). n <= 0 keeps the default.
+func WithIndexRebuildThreshold(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.rebuildThreshold = n
+		}
+	}
+}
+
 // New returns a server with no datasets registered.
 func New(opts ...Option) *Server {
 	s := &Server{
-		indexes:  make(map[string]*dataset.Index),
-		versions: make(map[string]uint64),
-		nl:       nlparser.NewParser(),
-		cache:    newCandidateCache(defaultCacheCapacity),
-		plans:    newPlanCache(defaultPlanCacheCapacity),
+		indexes:          make(map[string]*dataset.Index),
+		versions:         make(map[string]uint64),
+		deltaVersions:    make(map[string]uint64),
+		rebuildThreshold: defaultRebuildThreshold,
+		nl:               nlparser.NewParser(),
+		cache:            newCandidateCache(defaultCacheCapacity),
+		plans:            newPlanCache(defaultPlanCacheCapacity),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -105,6 +141,7 @@ func New(opts ...Option) *Server {
 	mux.HandleFunc("/api/datasets/", s.handleDatasetUpload)
 	mux.HandleFunc("/api/parse", s.handleParse)
 	mux.HandleFunc("/api/search", s.handleSearch)
+	mux.HandleFunc("/api/append", s.handleAppend)
 	s.mux = mux
 	return s
 }
@@ -114,6 +151,9 @@ func New(opts ...Option) *Server {
 // so no search ever pays the dictionary-encoding cost. Replacing a dataset
 // bumps its version, invalidating every cached candidate set built from
 // the old data.
+//
+// The server takes ownership of t: AppendRows grows its columns in place,
+// so callers must not retain or mutate the table after registering it.
 func (s *Server) Register(name string, t *dataset.Table) {
 	ix := dataset.BuildIndex(t)
 	s.mu.Lock()
@@ -177,8 +217,9 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	infos := make([]datasetInfo, 0, len(s.indexes))
 	for name, ix := range s.indexes {
-		t := ix.Table()
-		infos = append(infos, datasetInfo{Name: name, Rows: t.NumRows(), Columns: t.ColumnNames()})
+		// ix.NumRows, not ix.Table().NumRows: the row count moves under the
+		// index's data lock when appends are in flight.
+		infos = append(infos, datasetInfo{Name: name, Rows: ix.NumRows(), Columns: ix.Table().ColumnNames()})
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -391,6 +432,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	ix, ok := s.indexes[req.Dataset]
 	version := s.versions[req.Dataset]
+	dv := s.deltaVersions[req.Dataset]
 	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", req.Dataset))
@@ -430,7 +472,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	if batch {
-		s.searchBatch(ctx, w, req, ix, version, spec, opts, budget)
+		s.searchBatch(ctx, w, req, ix, version, dv, spec, opts, budget)
 		return
 	}
 	q, parseResp, err := s.parseQuery(req.parseRequest)
@@ -444,7 +486,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	plan = plan.WithParallelism(budget)
-	cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, plan, spec)
+	cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, dv, ix, plan, spec)
 	if err != nil {
 		return // fetchCandidates wrote the error response
 	}
@@ -487,9 +529,8 @@ func (s *Server) compilePlan(q shape.Query, opts executor.Options) (*executor.Pl
 }
 
 // fetchCandidates runs the candidate cache fetch for one plan + spec and
-// handles the surrounding protocol: the pre-fetch expiry check, error
-// status mapping, and the post-store version re-check. On failure it
-// writes the error response and returns nil.
+// handles the surrounding protocol: the pre-fetch expiry check and error
+// status mapping. On failure it writes the error response and returns nil.
 //
 // Repeated queries over the same visual parameters (dataset version +
 // effective extract spec + group config) reuse the grouped Viz slices and
@@ -498,19 +539,35 @@ func (s *Server) compilePlan(q shape.Query, opts executor.Options) (*executor.Pl
 // a dead request must not start an extraction, but a request dying
 // mid-fetch must not poison coalesced waiters sharing the singleflight —
 // their extraction completes and populates the cache regardless.
-func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds string, version uint64, ix *dataset.Index, plan *executor.Plan, spec dataset.ExtractSpec) (cachedCandidates, error) {
+//
+// The validate closure closes the build-vs-data-change race: a result is
+// stored only if, atomically under the cache lock, both the dataset
+// version (bumped by Register) and the delta version (bumped by
+// AppendRows) still match what this request observed at admission. A build
+// that raced a replacement would occupy an unreachable slot forever; one
+// that raced an append could have extracted pre-append rows yet be written
+// after the patcher ran, silently serving stale candidates from then on.
+// Both interleavings now die at the store instead.
+func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds string, version, dv uint64, ix *dataset.Index, plan *executor.Plan, spec dataset.ExtractSpec) (cachedCandidates, error) {
 	if err := ctx.Err(); err != nil {
 		writeSearchErr(w, err)
 		return cachedCandidates{}, err
 	}
 	key := cacheKey(ds, version, plan.CandidateKey(spec))
-	cands, hit, err := s.cache.fetch(ctx, ds, key, func() (cachedCandidates, error) {
-		series, err := ix.Extract(plan.EffectiveSpec(spec))
+	validate := func() bool {
+		s.mu.RLock()
+		ok := s.versions[ds] == version && s.deltaVersions[ds] == dv
+		s.mu.RUnlock()
+		return ok
+	}
+	cands, _, err := s.cache.fetch(ctx, ds, key, dv, validate, func() (cachedCandidates, error) {
+		espec := plan.EffectiveSpec(spec)
+		series, err := ix.Extract(espec)
 		if err != nil {
 			return cachedCandidates{}, err
 		}
 		vizs := plan.GroupSeries(series)
-		cc := cachedCandidates{vizs: vizs}
+		cc := cachedCandidates{vizs: vizs, espec: espec, plan: plan, patchable: plan.PinFree(), zpos: buildZPos(vizs)}
 		if len(vizs) >= indexMinVizs {
 			// The index is query-independent (built from the vizs alone), so
 			// every plan sharing this candidate key shares it too.
@@ -522,20 +579,6 @@ func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds 
 		writeSearchErr(w, err)
 		return cachedCandidates{}, err
 	}
-	if !hit {
-		// Re-check the version after the store: if the dataset was replaced
-		// while we extracted, our old-version key is unreachable forever yet
-		// occupies a cache slot — remove it. Every interleaving is covered:
-		// a Register completing before this re-check is caught here, and one
-		// completing after our store deletes the entry by dataset name in
-		// invalidateDataset.
-		s.mu.RLock()
-		current := s.versions[ds]
-		s.mu.RUnlock()
-		if current != version {
-			s.cache.remove(key)
-		}
-	}
 	return cands, nil
 }
 
@@ -545,7 +588,7 @@ func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds 
 // group config) share one candidate-cache entry, and each such group is
 // scored in a single pass over its candidates by executor.MultiPlan.
 // Results come back in input-query order.
-func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req searchRequest, ix *dataset.Index, version uint64, spec dataset.ExtractSpec, opts executor.Options, budget int) {
+func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req searchRequest, ix *dataset.Index, version, dv uint64, spec dataset.ExtractSpec, opts executor.Options, budget int) {
 	parses := make([]parseResponse, len(req.Queries))
 	plans := make([]*executor.Plan, len(req.Queries))
 	allHit := true
@@ -587,7 +630,7 @@ func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req sea
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, ix, group[0], spec)
+		cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, dv, ix, group[0], spec)
 		if err != nil {
 			return // fetchCandidates wrote the error response
 		}

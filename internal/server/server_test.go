@@ -39,7 +39,7 @@ func testServer(t *testing.T) *Server {
 	return s
 }
 
-func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+func doJSON(t testing.TB, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
 	t.Helper()
 	var buf bytes.Buffer
 	if body != nil {

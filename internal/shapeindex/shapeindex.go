@@ -159,10 +159,22 @@ type Node struct {
 // bucket sets. Shards partition the leaf buckets round-robin, so planted
 // strong candidates land in every shard and each shard's traversal raises
 // the shared floor early. Immutable after Build; safe for concurrent
-// traversal.
+// traversal. Update path-copies into a fresh Index, so readers of the old
+// one are never disturbed.
 type Index struct {
 	shards []*Node
 	n      int
+
+	// Incremental-maintenance bookkeeping (see Update).
+	shardLeaves [][]*Node // each shard's leaves in tree order
+	leafOf      []leafRef // summary id -> owning leaf; pos -1 = unindexed
+	wantShards  int       // shard count requested at Build, pre-clamping
+	stale       int       // ids touched by Update since the last full Build
+}
+
+// leafRef locates a member's leaf bucket: shardLeaves[shard][pos].
+type leafRef struct {
+	shard, pos int32
 }
 
 // Build constructs the index over the given summaries (nil entries — e.g.
@@ -170,10 +182,6 @@ type Index struct {
 // shards <= 0 picks GOMAXPROCS. Construction is deterministic for a given
 // (summaries, shards) input.
 func Build(sums []*Summary, shards int) *Index {
-	const (
-		leafSize = 64
-		fanout   = 8
-	)
 	ids := make([]int32, 0, len(sums))
 	n := 0
 	for i, s := range sums {
@@ -185,7 +193,7 @@ func Build(sums []*Summary, shards int) *Index {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	ix := &Index{n: n}
+	ix := &Index{n: n, wantShards: shards}
 	if len(ids) == 0 {
 		return ix
 	}
@@ -195,23 +203,7 @@ func Build(sums []*Summary, shards int) *Index {
 	// together, which is what keeps envelopes tight — with slope extremes
 	// and the id as deterministic refinements.
 	sort.SliceStable(ids, func(a, b int) bool {
-		sa, sb := sums[ids[a]], sums[ids[b]]
-		ba, bb := sa.Boundable(), sb.Boundable()
-		if ba != bb {
-			return !ba
-		}
-		if ba {
-			if c := compareUpDown(sa.UpDown, sb.UpDown); c != 0 {
-				return c < 0
-			}
-			if sa.High[0] != sb.High[0] {
-				return sa.High[0] < sb.High[0]
-			}
-			if sa.Low[0] != sb.Low[0] {
-				return sa.Low[0] < sb.Low[0]
-			}
-		}
-		return ids[a] < ids[b]
+		return lessByBuildKey(sums, ids[a], ids[b])
 	})
 	var leaves []*Node
 	for off := 0; off < len(ids); off += leafSize {
@@ -233,14 +225,46 @@ func Build(sums []*Summary, shards int) *Index {
 		shards = len(leaves)
 	}
 	ix.shards = make([]*Node, shards)
+	ix.shardLeaves = make([][]*Node, shards)
+	ix.leafOf = make([]leafRef, len(sums))
+	for i := range ix.leafOf {
+		ix.leafOf[i] = leafRef{-1, -1}
+	}
 	for si := 0; si < shards; si++ {
 		var own []*Node
 		for li := si; li < len(leaves); li += shards {
+			for _, id := range leaves[li].Members {
+				ix.leafOf[id] = leafRef{int32(si), int32(len(own))}
+			}
 			own = append(own, leaves[li])
 		}
+		ix.shardLeaves[si] = own
 		ix.shards[si] = buildTree(own, fanout)
 	}
 	return ix
+}
+
+// lessByBuildKey is Build's deterministic bucketing order (see Build);
+// Update sorts newly added ids by the same key so their buckets stay as
+// tight as a fresh build's would be.
+func lessByBuildKey(sums []*Summary, a, b int32) bool {
+	sa, sb := sums[a], sums[b]
+	ba, bb := sa.Boundable(), sb.Boundable()
+	if ba != bb {
+		return !ba
+	}
+	if ba {
+		if c := compareUpDown(sa.UpDown, sb.UpDown); c != 0 {
+			return c < 0
+		}
+		if sa.High[0] != sb.High[0] {
+			return sa.High[0] < sb.High[0]
+		}
+		if sa.Low[0] != sb.Low[0] {
+			return sa.Low[0] < sb.Low[0]
+		}
+	}
+	return a < b
 }
 
 // buildTree folds a shard's leaves bottom-up into a fanout-ary tree.

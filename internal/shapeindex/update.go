@@ -1,0 +1,228 @@
+package shapeindex
+
+import "sort"
+
+// leafSize / fanout shape both Build's construction and Update's patching;
+// they must agree so an updated tree chunks like a fresh build's.
+const (
+	leafSize = 64
+	fanout   = 8
+)
+
+// Update returns a new Index absorbing a delta: sums is the FULL new
+// summary slice (it may be longer than the one Build saw — appended ids go
+// into fresh leaves), and changed lists the ids whose summaries were
+// replaced or added. The receiver is left untouched (persistent path-copy),
+// so in-flight traversals of the old index stay valid.
+//
+// Cost is O(|changed| · leafSize) to re-envelope dirty leaves plus
+// O(dirtyLeaves · log shardLeaves) spine refolds with untouched-node reuse
+// — never O(corpus). A changed id that is now nil (its visualization became
+// ungroupable) keeps its leaf slot but folds as an unboundable summary, so
+// the envelope stays dominant and the member is verified rather than
+// wrongly skipped.
+//
+// Repeated updates decay clustering quality: replaced members drift away
+// from their bucket's look-alikes and added ids form new (possibly
+// underfull) leaves. Staleness counts the ids touched since the last full
+// Build so callers can schedule a rebuild past a threshold.
+func (ix *Index) Update(sums []*Summary, changed []int32) *Index {
+	if len(changed) == 0 && len(sums) == len(ix.leafOf) {
+		return ix
+	}
+	if len(ix.shards) == 0 {
+		// Nothing built yet — incremental maintenance has no structure to
+		// patch, so this is a fresh build.
+		return Build(sums, ix.wantShards)
+	}
+
+	seen := make(map[int32]bool, len(changed))
+	dirty := make(map[leafRef]bool)
+	var added []int32
+	replaced := 0
+	for _, id := range changed {
+		if id < 0 || int(id) >= len(sums) || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if int(id) < len(ix.leafOf) && ix.leafOf[id].pos >= 0 {
+			dirty[ix.leafOf[id]] = true
+			replaced++
+		} else if sums[id] != nil {
+			added = append(added, id)
+		}
+	}
+	// Ids beyond the previous slice are additions even if the caller forgot
+	// to list them; scanning the tail keeps Update's contract forgiving.
+	for id := int32(len(ix.leafOf)); int(id) < len(sums); id++ {
+		if !seen[id] && sums[id] != nil {
+			added = append(added, id)
+		}
+	}
+
+	next := &Index{
+		n:          ix.n + len(added),
+		wantShards: ix.wantShards,
+		stale:      ix.stale + replaced + len(added),
+	}
+	next.leafOf = make([]leafRef, len(sums))
+	copy(next.leafOf, ix.leafOf)
+	for i := len(ix.leafOf); i < len(sums); i++ {
+		next.leafOf[i] = leafRef{-1, -1}
+	}
+
+	// Copy the per-shard leaf lists; shards that stay clean share slices and
+	// roots with the old index.
+	next.shards = append([]*Node(nil), ix.shards...)
+	next.shardLeaves = make([][]*Node, len(ix.shardLeaves))
+	copy(next.shardLeaves, ix.shardLeaves)
+	dirtyShard := make([]bool, len(next.shards))
+
+	// Re-envelope dirty leaves in place (path-copied nodes, same members).
+	for ref := range dirty {
+		si, pos := int(ref.shard), int(ref.pos)
+		if !dirtyShard[si] {
+			next.shardLeaves[si] = append([]*Node(nil), ix.shardLeaves[si]...)
+			dirtyShard[si] = true
+		}
+		old := next.shardLeaves[si][pos]
+		memberSums := make([]*Summary, len(old.Members))
+		for i, id := range old.Members {
+			if int(id) < len(sums) && sums[id] != nil {
+				memberSums[i] = sums[id]
+			} else {
+				memberSums[i] = &Summary{} // unboundable: +Inf bound, sound
+			}
+		}
+		env := Envelope(memberSums)
+		env.UpDown = nil
+		next.shardLeaves[si][pos] = &Node{Env: env, Members: old.Members, MinID: old.MinID}
+	}
+
+	// Bucket additions by the build key into fresh leaves, each assigned to
+	// the shard with the fewest leaves (ties to the lowest shard) so load
+	// stays balanced without reshuffling existing buckets.
+	if len(added) > 0 {
+		sort.Slice(added, func(a, b int) bool {
+			return lessByBuildKey(sums, added[a], added[b])
+		})
+		for off := 0; off < len(added); off += leafSize {
+			end := off + leafSize
+			if end > len(added) {
+				end = len(added)
+			}
+			members := append([]int32(nil), added[off:end]...)
+			memberSums := make([]*Summary, len(members))
+			for i, id := range members {
+				memberSums[i] = sums[id]
+			}
+			env := Envelope(memberSums)
+			env.UpDown = nil
+			sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+			si := 0
+			for s := 1; s < len(next.shardLeaves); s++ {
+				if len(next.shardLeaves[s]) < len(next.shardLeaves[si]) {
+					si = s
+				}
+			}
+			if !dirtyShard[si] {
+				next.shardLeaves[si] = append([]*Node(nil), ix.shardLeaves[si]...)
+				dirtyShard[si] = true
+			}
+			for _, id := range members {
+				next.leafOf[id] = leafRef{int32(si), int32(len(next.shardLeaves[si]))}
+			}
+			next.shardLeaves[si] = append(next.shardLeaves[si], &Node{Env: env, Members: members, MinID: members[0]})
+		}
+	}
+
+	// Refold dirty shards' spines, reusing every internal node whose
+	// children are untouched — the leaf-to-root refold cost.
+	for si := range next.shards {
+		if dirtyShard[si] {
+			next.shards[si] = buildTreeReuse(next.shardLeaves[si], levelsOf(ix.shards[si]), fanout)
+		}
+	}
+	return next
+}
+
+// Staleness reports how many summary ids Update has touched since the last
+// full Build — the clustering-decay signal a rebuild policy thresholds on.
+func (ix *Index) Staleness() int { return ix.stale }
+
+// levelsOf collects a tree's nodes level by level, leaf level first. The
+// chunked bottom-up construction gives every leaf the same depth, so a BFS
+// partitions cleanly into levels.
+func levelsOf(root *Node) [][]*Node {
+	if root == nil {
+		return nil
+	}
+	levels := [][]*Node{{root}}
+	for {
+		cur := levels[len(levels)-1]
+		var nextLvl []*Node
+		for _, n := range cur {
+			nextLvl = append(nextLvl, n.Children...)
+		}
+		if len(nextLvl) == 0 {
+			break
+		}
+		levels = append(levels, nextLvl)
+	}
+	// Reverse: leaf level first, root last.
+	for i, j := 0, len(levels)-1; i < j; i, j = i+1, j-1 {
+		levels[i], levels[j] = levels[j], levels[i]
+	}
+	return levels
+}
+
+// buildTreeReuse is buildTree with node reuse: an internal node from the
+// old tree is kept verbatim when its chunk of children is pointer-identical
+// to the new chunk (identical children ⇒ identical envelope). Only nodes on
+// a dirty leaf's path to the root — or past a grown chunk boundary — are
+// re-enveloped.
+func buildTreeReuse(level []*Node, oldLevels [][]*Node, fanout int) *Node {
+	depth := 0
+	for len(level) > 1 {
+		var oldUp []*Node
+		if depth+1 < len(oldLevels) {
+			oldUp = oldLevels[depth+1]
+		}
+		nextLvl := make([]*Node, 0, (len(level)+fanout-1)/fanout)
+		for off := 0; off < len(level); off += fanout {
+			end := off + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			children := level[off:end:end]
+			if ci := off / fanout; ci < len(oldUp) && sameChildren(oldUp[ci].Children, children) {
+				nextLvl = append(nextLvl, oldUp[ci])
+				continue
+			}
+			envs := make([]*Summary, len(children))
+			minID := children[0].MinID
+			for i, c := range children {
+				envs[i] = c.Env
+				if c.MinID < minID {
+					minID = c.MinID
+				}
+			}
+			nextLvl = append(nextLvl, &Node{Env: Envelope(envs), Children: children, MinID: minID})
+		}
+		level = nextLvl
+		depth++
+	}
+	return level[0]
+}
+
+func sameChildren(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

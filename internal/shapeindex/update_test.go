@@ -1,0 +1,189 @@
+package shapeindex
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// applyRandomUpdate mutates sums with a random mix of replacements and
+// appended ids (including nil appends — ungroupable additions) and returns
+// the new slice plus the changed-id list.
+func applyRandomUpdate(rng *rand.Rand, sums []*Summary) ([]*Summary, []int32) {
+	out := append([]*Summary(nil), sums...)
+	var changed []int32
+	for i := rng.Intn(8); i >= 0; i-- {
+		id := int32(rng.Intn(len(out)))
+		if rng.Intn(6) == 0 {
+			out[id] = nil // viz became ungroupable
+		} else {
+			out[id] = randomSummary(rng)
+		}
+		changed = append(changed, id)
+	}
+	for i := rng.Intn(5); i > 0; i-- {
+		if rng.Intn(5) == 0 {
+			out = append(out, nil)
+		} else {
+			out = append(out, randomSummary(rng))
+		}
+		changed = append(changed, int32(len(out)-1))
+	}
+	return out, changed
+}
+
+// TestUpdatePartitionAndDominance drives random update sequences and checks
+// after each step: every indexed id still lands in exactly one leaf, n is
+// right, envelopes dominate the CURRENT summaries (the invariant indexed
+// search relies on), the previous index is untouched (persistence), and the
+// same Update applied twice produces the same structure (determinism).
+func TestUpdatePartitionAndDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		sums := make([]*Summary, 150+rng.Intn(200))
+		for i := range sums {
+			if rng.Intn(13) == 0 {
+				continue
+			}
+			sums[i] = randomSummary(rng)
+		}
+		ix := Build(sums, 1+rng.Intn(4))
+		for step := 0; step < 4; step++ {
+			newSums, changed := applyRandomUpdate(rng, sums)
+			beforeLeaves := collectLeaves(ix)
+			upd := ix.Update(newSums, changed)
+			if !reflect.DeepEqual(collectLeaves(ix), beforeLeaves) {
+				t.Fatalf("trial %d step %d: Update mutated the receiver", trial, step)
+			}
+			again := ix.Update(newSums, changed)
+			if !reflect.DeepEqual(collectLeaves(upd), collectLeaves(again)) {
+				t.Fatalf("trial %d step %d: Update is nondeterministic", trial, step)
+			}
+
+			// Membership: ids indexed before stay indexed (even if now nil —
+			// they fold unboundable rather than vanish); brand-new non-nil
+			// ids join; nil additions stay out.
+			wantMember := make(map[int32]bool)
+			for id, s := range sums {
+				if s != nil {
+					wantMember[int32(id)] = true
+				}
+			}
+			for id := len(sums); id < len(newSums); id++ {
+				if newSums[id] != nil {
+					wantMember[int32(id)] = true
+				}
+			}
+			seen := make(map[int32]int)
+			leafCount := 0
+			upd.Walk(func(env *Summary, members []int32) {
+				leafCount++
+				for _, id := range members {
+					m := newSums[id]
+					if m == nil {
+						if env.Boundable() {
+							t.Fatalf("trial %d step %d: leaf holding nil member %d is boundable", trial, step, id)
+						}
+						continue
+					}
+					for _, vmax := range []float64{1, 0.5, 0.2} {
+						if env.Boundable() {
+							if eh, mh := cappedExtreme(env.High, env.HighPrefix, vmax, true), cappedExtreme(m.High, m.HighPrefix, vmax, true); eh < mh-1e-12 {
+								t.Fatalf("trial %d step %d: envelope high %g < member %d high %g (vmax=%g)",
+									trial, step, eh, id, mh, vmax)
+							}
+						}
+					}
+				}
+			})
+			for si := 0; si < upd.NumShards(); si++ {
+				upd.Traverse(si,
+					func(*Summary) float64 { return 1 },
+					func() float64 { return math.Inf(-1) }, 0,
+					func(members []int32, _ float64) bool {
+						for _, id := range members {
+							seen[id]++
+						}
+						return true
+					})
+			}
+			for id := range wantMember {
+				if seen[id] != 1 {
+					t.Fatalf("trial %d step %d: id %d visited %d times, want 1", trial, step, id, seen[id])
+				}
+			}
+			if upd.Staleness() <= ix.Staleness() {
+				t.Fatalf("trial %d step %d: staleness did not grow: %d -> %d", trial, step, ix.Staleness(), upd.Staleness())
+			}
+			sums, ix = newSums, upd
+		}
+	}
+}
+
+// TestUpdateReusesUntouchedNodes pins the O(changed × log N) claim: a
+// single-id update of a large single-shard index must allocate only the
+// dirty leaf and its root path, sharing every other node with the old tree.
+func TestUpdateReusesUntouchedNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sums := make([]*Summary, 5000)
+	for i := range sums {
+		sums[i] = randomSummary(rng)
+	}
+	ix := Build(sums, 1)
+	old := make(map[*Node]bool)
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		old[n] = true
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(ix.shards[0])
+
+	newSums := append([]*Summary(nil), sums...)
+	newSums[1234] = randomSummary(rng)
+	upd := ix.Update(newSums, []int32{1234})
+	fresh := 0
+	var count func(n *Node)
+	count = func(n *Node) {
+		if !old[n] {
+			fresh++
+		}
+		for _, c := range n.Children {
+			if !old[n] || !old[c] { // descending into shared subtrees is pointless
+				count(c)
+			}
+		}
+	}
+	count(upd.shards[0])
+	// 5000 ids / 64 per leaf ≈ 79 leaves; depth ≈ 3. One dirty leaf should
+	// cost a handful of nodes, nowhere near the 90-node full tree.
+	if fresh == 0 || fresh > 10 {
+		t.Fatalf("single-id update allocated %d fresh nodes", fresh)
+	}
+}
+
+// TestUpdateEmptyIndexFallsBackToBuild: an index built over nothing has no
+// structure to patch; Update must produce a fresh build.
+func TestUpdateEmptyIndexFallsBackToBuild(t *testing.T) {
+	ix := Build(nil, 2)
+	rng := rand.New(rand.NewSource(19))
+	sums := make([]*Summary, 100)
+	changed := make([]int32, len(sums))
+	for i := range sums {
+		sums[i] = randomSummary(rng)
+		changed[i] = int32(i)
+	}
+	upd := ix.Update(sums, changed)
+	if upd.Len() != len(sums) {
+		t.Fatalf("Len = %d, want %d", upd.Len(), len(sums))
+	}
+	want := Build(sums, 2)
+	if !reflect.DeepEqual(collectLeaves(upd), collectLeaves(want)) {
+		t.Fatal("fallback build differs from a direct Build")
+	}
+	if upd.Staleness() != 0 {
+		t.Fatalf("fresh build staleness = %d, want 0", upd.Staleness())
+	}
+}
