@@ -1,0 +1,215 @@
+// Command shapelint runs shapesearch's static-analysis suite: the five
+// analyzers in internal/analysis that mechanically enforce the engine's
+// concurrency and determinism invariants.
+//
+// Standalone (checks the module rooted at the working directory):
+//
+//	shapelint [-analyzers=name1,name2] [packages]
+//
+// As a vet tool (go vet drives it per package through the unitchecker
+// protocol):
+//
+//	go vet -vettool=$(which shapelint) ./...
+//
+// Exit status is 2 when any diagnostic is reported, matching go vet.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"shapesearch/internal/analysis"
+)
+
+func main() {
+	// The unitchecker protocol probes before flag parsing: `go vet` invokes
+	// the tool as `shapelint -V=full`, `shapelint -flags`, and finally
+	// `shapelint <unit>.cfg`.
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			// go vet fingerprints the tool for its build cache: a devel
+			// version line must end in a buildID, and hashing our own binary
+			// makes the cache invalidate exactly when the tool changes.
+			fmt.Printf("%s version devel buildID=%s\n", os.Args[0], selfHash())
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(vetUnit(args[0]))
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+// selfHash fingerprints the running binary for the -V=full version line.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("shapelint", flag.ExitOnError)
+	spec := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: shapelint [-analyzers=a,b] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(fs.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.ByName(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// vetConfig is the JSON unit description go vet hands a -vettool (the
+// unitchecker protocol's *.cfg file).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "shapelint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The analyzers produce no facts, so a vetx-only unit (a dependency
+	// analyzed purely for facts) has nothing to do beyond writing the
+	// (empty) facts file go vet expects.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The invariants bind non-test code: the standalone loader never parses
+	// test files, and the vet path mirrors that by skipping test-variant
+	// units ("pkg [pkg.test]", "pkg_test") and in-package _test.go files.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		return 0
+	}
+	goFiles := cfg.GoFiles[:0]
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, goFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkg, err := analysis.CheckFiles(fset, cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	findings, err := analysis.RunPackage(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, f := range findings {
+		// go vet surfaces plain file:line: message lines from stderr.
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var out []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package analysis
+
+// A miniature analysistest: fixtures live under testdata/src/<analyzer>/ and
+// annotate the lines they expect diagnostics on with
+//
+//	// want `regex`
+//	// want "regex"
+//
+// comments (several patterns per comment are allowed). runFixture loads the
+// fixture directory as one package, runs a single analyzer over it with
+// //lint:ignore suppression active, and requires an exact match between the
+// diagnostics produced and the want annotations: every finding must be
+// wanted, every want must be found.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantTokRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := wantTokRe.FindAllString(m[1], -1)
+				if len(toks) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, tok := range toks {
+					pat := tok
+					if tok[0] == '"' {
+						var err error
+						pat, err = strconv.Unquote(tok)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, tok, err)
+						}
+					} else {
+						pat = tok[1 : len(tok)-1]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runAnalyzer runs one analyzer over a loaded package with suppression
+// active, bypassing AppliesTo: fixtures reproduce the package *shape* the
+// analyzer polices, not the repo's import paths.
+func runAnalyzer(t *testing.T, a *Analyzer, pkg *Package) []Finding {
+	t.Helper()
+	var findings []Finding
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		findings: &findings,
+		ignores:  buildIgnoreIndex(pkg.Fset, pkg.Files),
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings := runAnalyzer(t, a, pkg)
+	wants := parseWants(t, pkg)
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+		}
+	}
+}

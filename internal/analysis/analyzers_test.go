@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+func TestEvalCtxEscape(t *testing.T)    { runFixture(t, EvalCtxEscape, "evalctxescape") }
+func TestMemoEpoch(t *testing.T)        { runFixture(t, MemoEpoch, "memoepoch") }
+func TestCtxPropagate(t *testing.T)     { runFixture(t, CtxPropagate, "ctxpropagate") }
+func TestFloatDeterminism(t *testing.T) { runFixture(t, FloatDeterminism, "floatdeterminism") }
+func TestLockOrder(t *testing.T)        { runFixture(t, LockOrder, "lockorder") }
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All()))
+	}
+	two, err := ByName("memoepoch, lockorder")
+	if err != nil || len(two) != 2 || two[0].Name != "memoepoch" || two[1].Name != "lockorder" {
+		t.Fatalf("ByName(\"memoepoch, lockorder\") = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") did not fail")
+	}
+}
+
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

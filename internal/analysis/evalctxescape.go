@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EvalCtxEscape enforces the scoring kernel's buffer-ownership rule
+// (ROADMAP "Scoring kernel"): every slice and arena allocation hanging off
+// a worker's evalCtx belongs to that worker's current candidate. A slice
+// drawn from the kernel state may be borrowed freely inside the package —
+// solvers hand ranges up through runResult/segResult and the caller copies
+// the winner out (the evalViz copy-out rule) — but it must never
+//
+//   - be returned by an exported function or method (arena memory handed
+//     across the package boundary outlives any candidate),
+//   - be stored into a struct, map or slice that is not itself kernel
+//     state (the store outlives the call), or
+//   - be captured by a goroutine (the worker-ownership rule: an evalCtx is
+//     single-worker state; a goroutine capture shares it).
+//
+// An explicit copy (append(dst[:0], src...), copy into a fresh make) is the
+// sanctioned way out — copies are plain calls and are never flagged.
+//
+// The analyzer self-gates: it does nothing in packages that do not declare
+// a type named evalCtx. Kernel state is the transitive closure of evalCtx's
+// field types (chainEval, the memo tables, the arenas, tree nodes...), so
+// the kernel's own internal wiring is exempt. Tracking is function-local
+// with one level of aliasing (x := ec.buf; grow helpers taking &ec.buf;
+// arena alloc / grid-cache methods), which matches how the kernel code is
+// actually written.
+var EvalCtxEscape = &Analyzer{
+	Name: "evalctxescape",
+	Doc:  "arena/pool-backed evalCtx slices must not escape: no exported returns, long-lived stores, or goroutine captures without an explicit copy",
+	Run:  runEvalCtxEscape,
+}
+
+func runEvalCtxEscape(pass *Pass) error {
+	root := pass.Pkg.Scope().Lookup("evalCtx")
+	if root == nil {
+		return nil
+	}
+	rootNamed := derefNamed(root.Type())
+	if rootNamed == nil {
+		return nil
+	}
+
+	family := kernelFamily(rootNamed, pass.Pkg)
+
+	inFamily := func(t types.Type) bool {
+		n := derefNamed(t)
+		return n != nil && family[n.Obj()]
+	}
+	isEvalCtx := func(t types.Type) bool {
+		n := derefNamed(t)
+		return n != nil && n.Obj() == rootNamed.Obj()
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkKernelFunc(pass, fd, inFamily, isEvalCtx)
+		}
+	}
+	return nil
+}
+
+// kernelFamily computes the set of named struct types reachable from
+// evalCtx's fields within the package — the kernel's own state, whose
+// internal mutation is the owner's business. Exported types are excluded:
+// arena/pool state is unexported by construction, while exported types
+// reachable from kernel fields (Viz, Options, ...) are API surface whose
+// methods hand out fresh memory, not arena memory.
+func kernelFamily(root *types.Named, pkg *types.Package) map[*types.TypeName]bool {
+	family := map[*types.TypeName]bool{root.Obj(): true}
+	work := []*types.Named{root}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		s, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < s.NumFields(); i++ {
+			for _, ft := range elementNamed(s.Field(i).Type()) {
+				if ft.Obj().Pkg() == pkg && !ft.Obj().Exported() && !family[ft.Obj()] {
+					family[ft.Obj()] = true
+					work = append(work, ft)
+				}
+			}
+		}
+	}
+	return family
+}
+
+// elementNamed unwraps slices, arrays, pointers and maps down to the named
+// types they carry.
+func elementNamed(t types.Type) []*types.Named {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return elementNamed(u.Elem())
+	case *types.Slice:
+		return elementNamed(u.Elem())
+	case *types.Array:
+		return elementNamed(u.Elem())
+	case *types.Map:
+		return append(elementNamed(u.Key()), elementNamed(u.Elem())...)
+	case *types.Named:
+		return []*types.Named{u}
+	case *types.Alias:
+		return elementNamed(types.Unalias(u))
+	default:
+		return nil
+	}
+}
+
+func checkKernelFunc(pass *Pass, fd *ast.FuncDecl, inFamily, isEvalCtx func(types.Type) bool) {
+	recv := recvNamed(pass.Info, fd)
+	recvIsFamily := recv != nil && inFamily(recv)
+
+	// tainted holds local variables directly aliased to kernel-backed
+	// memory within this function.
+	tainted := map[types.Object]bool{}
+
+	// arenaBacked reports whether e denotes kernel-owned memory:
+	// a field selector rooted at a kernel value, an index/slice of one, a
+	// grow/alloc/grid helper result over one, or a tainted local.
+	var arenaBacked func(e ast.Expr) bool
+	rootObj := func(e ast.Expr) types.Object {
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.Ident:
+				return pass.Info.ObjectOf(x)
+			default:
+				return nil
+			}
+		}
+	}
+	refLike := func(t types.Type) bool {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Pointer, *types.Map:
+			return true
+		}
+		return false
+	}
+	arenaBacked = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return tainted[pass.Info.ObjectOf(x)]
+		case *ast.ParenExpr:
+			return arenaBacked(x.X)
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return false
+			}
+			if t := pass.Info.TypeOf(x); t == nil || !refLike(t) {
+				return false
+			}
+			return inFamily(pass.Info.TypeOf(x.X)) || arenaBacked(x.X)
+		case *ast.IndexExpr:
+			t := pass.Info.TypeOf(x)
+			return t != nil && refLike(t) && arenaBacked(x.X)
+		case *ast.SliceExpr:
+			return arenaBacked(x.X)
+		case *ast.UnaryExpr:
+			return x.Op == token.AND && arenaBacked(x.X)
+		case *ast.CallExpr:
+			// grow*(&ec.buf, n) returns the resized kernel buffer; method
+			// calls on kernel state returning reference types (arena alloc,
+			// grid caches) hand out kernel memory.
+			if t := pass.Info.TypeOf(x); t == nil || !refLike(t) {
+				return false
+			}
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				for _, arg := range x.Args {
+					if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND && arenaBacked(u.X) {
+						return true
+					}
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+					return inFamily(pass.Info.TypeOf(fun.X)) || arenaBacked(fun.X)
+				}
+			}
+			return false
+		}
+		return false
+	}
+
+	// Pass 1: collect taints (simple aliases of kernel memory).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" && arenaBacked(rhs) {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	exported := fd.Name.IsExported()
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			if !exported || recvIsFamily {
+				// In-package borrowing (solvers returning runResult over
+				// context scratch, copied by the caller) is the documented
+				// protocol; only the exported surface is a hard boundary.
+				return true
+			}
+			for _, res := range st.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if e, ok := m.(ast.Expr); ok && arenaBacked(e) {
+						pass.Reportf(e.Pos(), "arena-backed evalCtx buffer escapes via exported %s: copy it out (append(dst[:0], src...)) before returning", fd.Name.Name)
+						return false
+					}
+					return true
+				})
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if !arenaBacked(rhs) {
+					continue
+				}
+				switch lhs := st.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					obj := rootObj(lhs)
+					if obj != nil && (tainted[obj] || inFamily(obj.Type()) || isEvalCtx(obj.Type())) {
+						continue // kernel state maintaining kernel state
+					}
+					if inFamily(pass.Info.TypeOf(lhs.X)) {
+						continue
+					}
+					pass.Reportf(st.Pos(), "arena-backed evalCtx buffer stored in %s, which outlives the candidate: copy it out first", selectorPath(lhs))
+				case *ast.IndexExpr:
+					obj := rootObj(lhs)
+					if obj != nil && (tainted[obj] || inFamily(obj.Type())) {
+						continue
+					}
+					pass.Reportf(st.Pos(), "arena-backed evalCtx buffer stored in %s, which outlives the candidate: copy it out first", selectorPath(lhs.X))
+				}
+			}
+		case *ast.GoStmt:
+			ast.Inspect(st.Call, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil || obj.Pos() == token.NoPos {
+					return true
+				}
+				if !isEvalCtx(obj.Type()) && !tainted[obj] {
+					return true
+				}
+				// Declared outside the go statement ⇒ captured.
+				if obj.Pos() < st.Pos() || obj.Pos() > st.End() {
+					pass.Reportf(id.Pos(), "evalCtx state %s captured by goroutine: contexts are single-worker owned (pass a copy or use the worker pool)", id.Name)
+				}
+				return true
+			})
+		}
+		return true
+	})
+}

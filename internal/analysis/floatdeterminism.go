@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FloatDeterminism is the mechanical guard behind every `byte-identical`
+// property test (TestSharedEvalMatchesNaive, TestIndexedSearchMatchesScan,
+// TestSearchBatchMatchesSequential, TestAppendMatchesRegister...): scoring
+// and ranking must be a pure function of the inputs, bit for bit, under any
+// worker count and interleaving. Floating-point addition does not commute,
+// so any nondeterministically-ordered iteration that feeds a score, a
+// bound, or a result ordering breaks the guarantee probabilistically —
+// the kind of bug -race -count=2 only catches when it feels like it.
+//
+// In the scoring packages (executor, score, shapeindex, segstat) the
+// analyzer flags:
+//
+//  1. range over a map — Go randomizes map iteration order by design.
+//     Iterate a sorted key slice instead, or carry a side slice in
+//     first-appearance order (see MultiPlan.forEachKeyGroup). Iterations
+//     that are genuinely order-free take a //lint:ignore with the
+//     one-line proof.
+//  2. time.Now — wall-clock input makes two identical runs differ.
+//  3. math/rand (v1 or v2) — randomness in a scoring path is
+//     nondeterminism by definition; deterministic corpora generation
+//     lives in internal/gen, outside the scoring packages.
+var FloatDeterminism = &Analyzer{
+	Name: "floatdeterminism",
+	Doc:  "scoring packages must not iterate maps, read the clock, or use math/rand: results are byte-identical by contract",
+	AppliesTo: func(pkgPath string) bool {
+		for _, sfx := range []string{
+			"internal/executor", "internal/score",
+			"internal/shapeindex", "internal/segstat",
+		} {
+			if strings.HasSuffix(pkgPath, sfx) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runFloatDeterminism,
+}
+
+func runFloatDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			switch importPathOf(imp) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "math/rand imported in a scoring package: results must be byte-identical across runs")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(x.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(x.Pos(), "map iteration order is nondeterministic: iterate sorted keys (or a first-appearance order slice) so scores and orderings stay byte-identical")
+					}
+				}
+			case *ast.CallExpr:
+				if isPkgCall(pass.Info, x, "time", "Now") {
+					pass.Reportf(x.Pos(), "time.Now() in a scoring package: wall-clock input breaks byte-identical results")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over the patterns in dir and
+// returns the decoded package stream. Export data comes from the local
+// build cache, so the loader works fully offline.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the gc-importer lookup function over an import-path →
+// export-file map.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+func typeInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load type-checks the packages matching the patterns (e.g. "./...") rooted
+// at dir. Only the matched packages themselves are parsed; their
+// dependencies are imported from compiler export data, exactly as `go vet`
+// loads them. Test files are excluded: the invariants the analyzers enforce
+// bind non-test code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks every .go file in one directory as a
+// single package, resolving its imports through `go list -export`. This is
+// the fixture loader behind the analyzer tests: testdata packages live
+// outside the module's package graph, so they are loaded by path rather
+// than by import pattern.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Parse first to learn the fixture's imports, then fetch export data
+	// for exactly those (plus their dependencies).
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+		for _, imp := range f.Imports {
+			importSet[importPathOf(imp)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	info := typeInfo()
+	conf := types.Config{Importer: imp}
+	pkgPath := filepath.Base(dir)
+	tpkg, err := conf.Check(pkgPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+func importPathOf(s *ast.ImportSpec) string {
+	p := s.Path.Value
+	return p[1 : len(p)-1] // strip quotes
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	info := typeInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// CheckFiles type-checks an already-parsed file set against explicit export
+// data (import path → export file), as handed to a vet tool by `go vet`'s
+// unitchecker protocol. importMap translates source-level import paths to
+// the canonical paths keying exports.
+func CheckFiles(fset *token.FileSet, path string, asts []*ast.File, importMap, exports map[string]string) (*Package, error) {
+	lookup := func(p string) (io.ReadCloser, error) {
+		if canon, ok := importMap[p]; ok {
+			p = canon
+		}
+		f, ok := exports[p]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", p)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	info := typeInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder enforces two locking invariants:
+//
+//  1. appendMu is the outermost lock (ROADMAP "Streaming ingestion"):
+//     AppendRows serializes the whole append path on it and only then
+//     touches the server's state lock and the candidate cache's lock.
+//     Acquiring appendMu while already holding any other mutex inverts
+//     that order and can deadlock against a patcher — the analyzer flags
+//     any appendMu acquisition made while another lock is held in the
+//     same function (lexical, function-local approximation; lock
+//     acquisitions across call boundaries are the code reviewer's job).
+//  2. The shared pruning floor (sharedTopK.floorBits) is published under
+//     the heap's mutex and read lock-free. Only the owner type's methods
+//     (and its new* constructor, which runs before the value is shared)
+//     may touch the field — everyone else goes through add()/fastFloor(),
+//     which preserve "updated under the lock, read atomically". A
+//     non-atomic or out-of-band access is exactly the race the PR 5 floor
+//     broadcast was designed to exclude.
+//
+// Both rules self-gate on the names they police (appendMu, floorBits), so
+// the analyzer is a no-op in packages without them.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "appendMu must be acquired before any other lock; the atomic floor word is touched only by its owner's methods",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockOrderFunc(pass, fd)
+		}
+	}
+	checkFloorEncapsulation(pass)
+	return nil
+}
+
+// lockOp is one Lock/Unlock call found in a function, keyed by the
+// rendered selector path of the mutex it targets.
+type lockOp struct {
+	pos      token.Pos
+	path     string // "s.appendMu", "c.mu", ...
+	field    string // last path component
+	acquire  bool
+	deferred bool
+}
+
+func checkLockOrderFunc(pass *Pass, fd *ast.FuncDecl) {
+	var ops []lockOp
+	collect := func(n ast.Node, deferred bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		var acquire bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return
+		}
+		if !isMutexType(pass.Info.TypeOf(sel.X)) {
+			return
+		}
+		path := selectorPath(sel.X)
+		if path == "" {
+			return
+		}
+		field := path
+		if i := strings.LastIndex(path, "."); i >= 0 {
+			field = path[i+1:]
+		}
+		ops = append(ops, lockOp{pos: call.Pos(), path: path, field: field, acquire: acquire, deferred: deferred})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			collect(ds.Call, true)
+			return false // the deferred call itself is handled; skip re-visiting
+		}
+		collect(n, false)
+		return true
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+
+	// Lexical simulation: a deferred Unlock never releases within the
+	// function, so the lock counts as held for the remainder (conservative
+	// and faithful to the Lock();defer Unlock() idiom).
+	held := map[string]bool{}
+	for _, op := range ops {
+		if !op.acquire {
+			if !op.deferred {
+				delete(held, op.path)
+			}
+			continue
+		}
+		if op.field == "appendMu" {
+			for other := range held {
+				pass.Reportf(op.pos, "%s acquired while holding %s: appendMu is the outermost lock (append path order: appendMu → state/cache locks)", op.path, other)
+			}
+		}
+		held[op.path] = true
+	}
+}
+
+func isMutexType(t types.Type) bool {
+	n := derefNamed(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return true
+	}
+	return false
+}
+
+// checkFloorEncapsulation flags accesses to a floorBits field from outside
+// the owning type's methods and constructor.
+func checkFloorEncapsulation(pass *Pass) {
+	funcs := indexFuncs(pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "floorBits" {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			owner := derefNamed(pass.Info.TypeOf(sel.X))
+			if owner == nil {
+				return true
+			}
+			fd := funcs.enclosing(sel.Pos())
+			if fd == nil {
+				return true
+			}
+			if recv := recvNamed(pass.Info, fd); recv != nil && recv.Obj() == owner.Obj() {
+				return true // the owner's own methods
+			}
+			if strings.EqualFold(fd.Name.Name, "new"+owner.Obj().Name()) {
+				return true // constructor runs before the value is shared
+			}
+			pass.Reportf(sel.Pos(), "floorBits accessed outside %s's methods: the floor is published under the heap lock and read via fastFloor() only", owner.Obj().Name())
+			return true
+		})
+	}
+}

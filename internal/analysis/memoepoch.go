@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MemoEpoch enforces the epoch-stamped memo discipline (ROADMAP
+// "Shared-alternative evaluation", memo ownership): the score/fit memos on
+// the pooled evalCtx belong to the worker's current candidate, and the
+// `mark != epoch` stamp is the only thing standing between a candidate and
+// a stale score computed for the previous one.
+//
+// Three mechanical rules:
+//
+//  1. Encapsulation: outside a memo type's own methods, nothing may touch
+//     its ents/epoch/live/shift fields — every probe goes through the
+//     accessors that carry the epoch guard (getSlot/putSlot/put/fit/reset).
+//  2. Guarded reads: any memo method that reads an entry's payload must
+//     compare the entry's mark against the table's epoch somewhere in its
+//     body. Deleting the guard from getSlot (the classic refactor
+//     accident) makes the memo serve the previous candidate's scores.
+//  3. No −1 signatures: a function that computes a memo key from a `sig`
+//     variable must guard sig against the −1 sentinel (units containing
+//     POSITION references score by chain position and must never be
+//     memoized).
+//
+// A "memo type" is any package-local struct with both an `ents` slice and
+// an `epoch` field — scoreMemo and fitMemo today, and any table that
+// adopts the same scheme tomorrow.
+var MemoEpoch = &Analyzer{
+	Name: "memoepoch",
+	Doc:  "epoch-stamped memo entries may only be touched through guarded accessors; mark/epoch checks and the sig>=0 guard are mandatory",
+	Run:  runMemoEpoch,
+}
+
+func runMemoEpoch(pass *Pass) error {
+	memos := map[*types.TypeName]*memoShape{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if shape := memoShapeOf(tn, pass.Pkg); shape != nil {
+			memos[tn] = shape
+		}
+	}
+	if len(memos) == 0 {
+		return nil
+	}
+
+	memoOf := func(t types.Type) *memoShape {
+		n := derefNamed(t)
+		if n == nil {
+			return nil
+		}
+		return memos[n.Obj()]
+	}
+	entryPayload := func(t types.Type) bool {
+		n := derefNamed(t)
+		if n == nil {
+			return false
+		}
+		for _, m := range memos {
+			if m.entry == n.Obj() {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := recvNamed(pass.Info, fd)
+			recvMemo := recv != nil && memos[recv.Obj()] != nil
+
+			// Rule 1: field access outside the owning type's methods.
+			if !recvMemo {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					s, ok := pass.Info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						return true
+					}
+					if memoOf(pass.Info.TypeOf(sel.X)) == nil {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "ents", "epoch", "live", "shift":
+						pass.Reportf(sel.Pos(), "memo internals (.%s) accessed outside the memo's methods: only the epoch-guarded accessors may touch entries", sel.Sel.Name)
+					}
+					return true
+				})
+			}
+
+			// Rule 2: memo methods reading entry payloads must consult the
+			// epoch stamp.
+			if recvMemo {
+				readsPayload := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					s, ok := pass.Info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						return true
+					}
+					if !entryPayload(pass.Info.TypeOf(sel.X)) {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "key", "mark":
+						return true
+					}
+					if isAssignTarget(fd.Body, sel) {
+						return true
+					}
+					readsPayload = true
+					return true
+				})
+				if readsPayload && !hasMarkEpochComparison(fd.Body) {
+					pass.Reportf(fd.Name.Pos(), "memo method %s reads entry values without comparing mark against epoch: a stale entry from the previous candidate can leak through", fd.Name.Name)
+				}
+			}
+
+			// Rule 3: key construction from an unguarded sig.
+			checkSigGuard(pass, fd, memoOf)
+		}
+	}
+	return nil
+}
+
+// memoShape describes one epoch-stamped table: its entry struct type.
+type memoShape struct {
+	owner *types.TypeName
+	entry *types.TypeName
+}
+
+// memoShapeOf recognizes the epoch-stamped memo pattern: a package-local
+// struct with an `ents` slice of structs and an `epoch` field.
+func memoShapeOf(tn *types.TypeName, pkg *types.Package) *memoShape {
+	if tn.Pkg() != pkg {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var entsElem *types.TypeName
+	hasEpoch := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "ents":
+			sl, ok := f.Type().Underlying().(*types.Slice)
+			if !ok {
+				return nil
+			}
+			en := derefNamed(sl.Elem())
+			if en == nil {
+				return nil
+			}
+			entsElem = en.Obj()
+		case "epoch":
+			hasEpoch = true
+		}
+	}
+	if entsElem == nil || !hasEpoch {
+		return nil
+	}
+	return &memoShape{owner: tn, entry: entsElem}
+}
+
+// isAssignTarget reports whether sel appears as (part of) an assignment
+// LHS inside body — writes establish entries and are not "reads".
+func isAssignTarget(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	target := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			ast.Inspect(lhs, func(m ast.Node) bool {
+				if m == ast.Node(sel) {
+					target = true
+				}
+				return !target
+			})
+		}
+		return !target
+	})
+	return target
+}
+
+// hasMarkEpochComparison reports whether the body compares a selector
+// ending in "mark" against one ending in "epoch" (either order, any
+// comparison operator) — the epoch guard in any of its spellings.
+func hasMarkEpochComparison(body *ast.BlockStmt) bool {
+	found := false
+	endsIn := func(e ast.Expr, field string) bool {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == field
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			return id.Name == field
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op.String() {
+		case "==", "!=":
+			if (endsIn(be.X, "mark") && endsIn(be.Y, "epoch")) ||
+				(endsIn(be.X, "epoch") && endsIn(be.Y, "mark")) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSigGuard flags functions that feed a `sig` variable into a memo
+// accessor without guarding it against the −1 POSITION sentinel.
+func checkSigGuard(pass *Pass, fd *ast.FuncDecl, memoOf func(types.Type) *memoShape) {
+	// Find memo accessor calls within the function.
+	var firstMemoCall *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if memoOf(pass.Info.TypeOf(sel.X)) == nil {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "getSlot", "putSlot", "put", "fit":
+			if firstMemoCall == nil {
+				firstMemoCall = call
+			}
+		}
+		return true
+	})
+	if firstMemoCall == nil {
+		return
+	}
+	// Does the function mention a variable named sig at all?
+	var sigIdent *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "sig" && sigIdent == nil {
+			sigIdent = id
+		}
+		return sigIdent == nil
+	})
+	if sigIdent == nil {
+		return
+	}
+	// Require a comparison of sig against a numeric literal (sig < 0,
+	// sig >= 0, sig != -1, ...) anywhere in the function.
+	guarded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op.String() {
+		case "<", "<=", ">", ">=", "==", "!=":
+			if (isIdentNamed(be.X, "sig") && isNumericLit(be.Y)) ||
+				(isIdentNamed(be.Y, "sig") && isNumericLit(be.X)) {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	if !guarded {
+		pass.Reportf(firstMemoCall.Pos(), "memo access in %s uses sig without guarding the -1 POSITION sentinel: POSITION-dependent units must never be memoized", fd.Name.Name)
+	}
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNumericLit(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.UnaryExpr:
+		return isNumericLit(x.X)
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestRepoClean runs the full analyzer suite over the repository itself and
+// requires zero findings: the invariants are enforced, not aspirational.
+// A finding here means either real code broke an invariant (fix the code)
+// or a documented exception is missing its //lint:ignore with a reason.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		findings, err := RunPackage(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

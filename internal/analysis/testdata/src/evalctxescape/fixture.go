@@ -1,0 +1,100 @@
+// Fixture for the evalctxescape analyzer: a miniature scoring kernel with
+// the same shape as internal/executor's evalCtx. Arena-backed buffers may be
+// borrowed inside the package but must not cross the exported boundary, be
+// stored in outliving structures, or be captured by goroutines.
+package evalctxescape
+
+type scoreEnt struct {
+	key  uint64
+	mark uint32
+	val  float64
+}
+
+type scoreMemo struct {
+	ents  []scoreEnt
+	epoch uint32
+}
+
+type evalCtx struct {
+	qyBuf []float64
+	memo  scoreMemo
+	child *evalCtx
+}
+
+// Leak hands arena memory across the exported boundary: flagged.
+func Leak(ec *evalCtx) []float64 {
+	return ec.qyBuf // want `arena-backed evalCtx buffer escapes via exported Leak`
+}
+
+// LeakAlias escapes through a local alias: still flagged.
+func LeakAlias(ec *evalCtx) []float64 {
+	buf := ec.qyBuf
+	return buf // want `arena-backed evalCtx buffer escapes via exported LeakAlias`
+}
+
+// borrow is the documented in-package protocol (solvers return context
+// scratch, the caller copies the winner out): unexported, not flagged.
+func borrow(ec *evalCtx) []float64 {
+	return ec.qyBuf
+}
+
+// CopyOut returns a fresh copy, the sanctioned way out: not flagged.
+func CopyOut(ec *evalCtx) []float64 {
+	out := make([]float64, len(ec.qyBuf))
+	copy(out, ec.qyBuf)
+	return out
+}
+
+type sink struct {
+	vals []float64
+}
+
+// store parks kernel memory in a struct that outlives the call: flagged.
+func store(ec *evalCtx, s *sink) {
+	s.vals = ec.qyBuf // want `stored in s.vals, which outlives the candidate`
+}
+
+// storeFamily is kernel state maintaining kernel state: not flagged.
+func storeFamily(ec *evalCtx) {
+	ec.child.qyBuf = ec.qyBuf
+}
+
+// capture shares single-worker state with a goroutine: flagged.
+func capture(ec *evalCtx) {
+	done := make(chan struct{})
+	go func() {
+		_ = ec.qyBuf // want `evalCtx state ec captured by goroutine`
+		close(done)
+	}()
+	<-done
+}
+
+// captureCopy hands the goroutine its own copy: not flagged.
+func captureCopy(ec *evalCtx) {
+	snapshot := make([]float64, len(ec.qyBuf))
+	copy(snapshot, ec.qyBuf)
+	done := make(chan struct{})
+	go func() {
+		_ = snapshot
+		close(done)
+	}()
+	<-done
+}
+
+// Suppressed documents its exception: the ignore comment absorbs the report.
+func Suppressed(ec *evalCtx) []float64 {
+	//lint:ignore evalctxescape bench harness copies the slice before the next candidate
+	return ec.qyBuf
+}
+
+// BadIgnore has no reason, so the ignore does not suppress: still flagged.
+func BadIgnore(ec *evalCtx) []float64 {
+	//lint:ignore evalctxescape
+	return ec.qyBuf // want `arena-backed evalCtx buffer escapes via exported BadIgnore`
+}
+
+var _ = borrow
+var _ = store
+var _ = storeFamily
+var _ = capture
+var _ = captureCopy

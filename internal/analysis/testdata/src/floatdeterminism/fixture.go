@@ -1,0 +1,50 @@
+// Fixture for the floatdeterminism analyzer: scoring code must be a pure,
+// byte-identical function of its inputs — no map iteration order, no
+// wall-clock reads, no randomness.
+package floatdeterminism
+
+import (
+	"math/rand" // want `math/rand imported in a scoring package`
+	"sort"
+	"time"
+)
+
+// sum accumulates floats in map order, which Go randomizes: flagged.
+func sum(scores map[string]float64) float64 {
+	total := 0.0
+	for _, v := range scores { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// sumSorted shows the sanctioned pattern: an order-free key collection
+// (with its one-line proof in the ignore) followed by sorted iteration.
+func sumSorted(scores map[string]float64) float64 {
+	keys := make([]string, 0, len(scores))
+	//lint:ignore floatdeterminism key collection is order-free; the scoring loop below iterates sorted
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += scores[k]
+	}
+	return total
+}
+
+// stamp reads the wall clock: flagged.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now\(\) in a scoring package`
+}
+
+// jitter justifies the (already flagged) rand import.
+func jitter() float64 {
+	return rand.Float64()
+}
+
+var _ = sum
+var _ = sumSorted
+var _ = stamp
+var _ = jitter

@@ -1,0 +1,92 @@
+// Fixture for the lockorder analyzer: appendMu is the outermost lock, and
+// the atomic pruning floor is touched only by its owner's methods.
+package lockorder
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+type server struct {
+	appendMu sync.Mutex
+	mu       sync.RWMutex
+	cache    *cache
+}
+
+// appendRows follows the documented order (appendMu, then inner locks):
+// not flagged.
+func (s *server) appendRows() {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	s.cache.mu.Lock()
+	s.cache.n++
+	s.cache.mu.Unlock()
+}
+
+// inverted acquires appendMu while holding the cache lock: flagged.
+func (s *server) inverted() {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	s.appendMu.Lock() // want `appendMu is the outermost lock`
+	s.appendMu.Unlock()
+}
+
+// sequential releases the state lock before taking appendMu: not flagged.
+func (s *server) sequential() {
+	s.mu.RLock()
+	_ = s.cache
+	s.mu.RUnlock()
+	s.appendMu.Lock()
+	s.appendMu.Unlock()
+}
+
+type sharedTopK struct {
+	mu        sync.Mutex
+	floorBits atomic.Uint64
+}
+
+// newSharedTopK seeds the floor before the value is shared: not flagged.
+func newSharedTopK(floor uint64) *sharedTopK {
+	s := &sharedTopK{}
+	s.floorBits.Store(floor)
+	return s
+}
+
+// add publishes the floor under the heap lock, from an owner method:
+// not flagged.
+func (s *sharedTopK) add(v uint64) {
+	s.mu.Lock()
+	s.floorBits.Store(v)
+	s.mu.Unlock()
+}
+
+// fastFloor is the sanctioned lock-free read: not flagged.
+func (s *sharedTopK) fastFloor() uint64 {
+	return s.floorBits.Load()
+}
+
+// steal reads the floor word from outside the owner: flagged.
+func steal(s *sharedTopK) uint64 {
+	return s.floorBits.Load() // want `floorBits accessed outside sharedTopK's methods`
+}
+
+// wrongIgnore names a different analyzer, so nothing is suppressed.
+func wrongIgnore(s *sharedTopK) uint64 {
+	//lint:ignore memoepoch wrong analyzer name does not suppress this
+	return s.floorBits.Load() // want `floorBits accessed outside sharedTopK's methods`
+}
+
+// debugFloor documents its exception: the ignore absorbs the report.
+func debugFloor(s *sharedTopK) uint64 {
+	//lint:ignore lockorder debug dump tolerates a racy snapshot
+	return s.floorBits.Load()
+}
+
+var _ = steal
+var _ = wrongIgnore
+var _ = debugFloor

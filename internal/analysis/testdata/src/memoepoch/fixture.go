@@ -1,0 +1,82 @@
+// Fixture for the memoepoch analyzer: an epoch-stamped memo table with the
+// same shape as internal/executor's scoreMemo. Entries may only be touched
+// through the memo's own methods, payload reads must check mark against
+// epoch, and sig-derived keys must guard the -1 POSITION sentinel.
+package memoepoch
+
+type scoreEnt struct {
+	key  uint64
+	mark uint32
+	val  float64
+}
+
+type scoreMemo struct {
+	ents  []scoreEnt
+	epoch uint32
+	live  int
+	shift uint
+}
+
+// getSlot carries the epoch guard: not flagged.
+func (m *scoreMemo) getSlot(key uint64) (float64, bool) {
+	e := &m.ents[key&7]
+	if e.mark != m.epoch || e.key != key {
+		return 0, false
+	}
+	return e.val, true
+}
+
+// putSlot only writes payloads (writes establish entries): not flagged.
+func (m *scoreMemo) putSlot(key uint64, v float64) {
+	e := &m.ents[key&7]
+	e.key = key
+	e.mark = m.epoch
+	e.val = v
+}
+
+// getStale reads e.val without ever consulting the epoch stamp: flagged.
+func (m *scoreMemo) getStale(key uint64) (float64, bool) { // want `reads entry values without comparing mark against epoch`
+	e := &m.ents[key&7]
+	if e.key != key {
+		return 0, false
+	}
+	return e.val, true
+}
+
+// peek reaches into the table from outside the memo's methods: flagged.
+func peek(m *scoreMemo, key uint64) float64 {
+	return m.ents[key&7].val // want `memo internals \(\.ents\) accessed outside`
+}
+
+// bump mutates the epoch from outside: flagged.
+func bump(m *scoreMemo) {
+	m.epoch++ // want `memo internals \(\.epoch\) accessed outside`
+}
+
+// lookupGuarded guards the POSITION sentinel before keying: not flagged.
+func lookupGuarded(m *scoreMemo, sigs []int, t, i, j int) (float64, bool) {
+	sig := sigs[t]
+	if sig < 0 {
+		return 0, false
+	}
+	key := uint64(sig)<<32 | uint64(i)<<16 | uint64(j)
+	return m.getSlot(key)
+}
+
+// lookupUnguarded feeds sig straight into the key: flagged at the accessor.
+func lookupUnguarded(m *scoreMemo, sigs []int, t, i, j int) (float64, bool) {
+	sig := sigs[t]
+	key := uint64(sig)<<32 | uint64(i)<<16 | uint64(j)
+	return m.getSlot(key) // want `uses sig without guarding the -1 POSITION sentinel`
+}
+
+// peekSuppressed documents its exception: the ignore absorbs the report.
+func peekSuppressed(m *scoreMemo) int {
+	//lint:ignore memoepoch occupancy introspection for the stats endpoint, no payload read
+	return m.live
+}
+
+var _ = peek
+var _ = bump
+var _, _ = lookupGuarded, lookupUnguarded
+var _ = peekSuppressed

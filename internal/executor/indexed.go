@@ -55,16 +55,27 @@ type VizIndex struct {
 // BuildVizIndex precomputes each candidate's bound summary (in parallel —
 // the per-viz slope-extreme scan is the dominant cost) and builds the
 // sharded envelope index over them. Nil entries are tolerated and never
-// surface in traversal. shards <= 0 picks GOMAXPROCS.
+// surface in traversal. shards <= 0 picks GOMAXPROCS. Uncancellable
+// compatibility wrapper for BuildVizIndexContext.
 func BuildVizIndex(vizs []*Viz, shards int) *VizIndex {
+	ix, _ := BuildVizIndexContext(context.Background(), vizs, shards)
+	return ix
+}
+
+// BuildVizIndexContext is BuildVizIndex under the caller's cancellation:
+// ctx aborts the parallel summary pass between candidates and the build
+// returns ctx's error with a nil index.
+func BuildVizIndexContext(ctx context.Context, vizs []*Viz, shards int) (*VizIndex, error) {
 	sums := make([]*shapeindex.Summary, len(vizs))
 	workers := runtime.GOMAXPROCS(0)
-	_ = forEachIndex(context.Background(), workers, len(vizs), func(_, i int) {
+	if err := forEachIndex(ctx, workers, len(vizs), func(_, i int) {
 		if vizs[i] != nil {
 			sums[i] = vizs[i].boundSummary()
 		}
-	})
-	return &VizIndex{vizs: vizs, sums: sums, ix: shapeindex.Build(sums, shards)}
+	}); err != nil {
+		return nil, err
+	}
+	return &VizIndex{vizs: vizs, sums: sums, ix: shapeindex.Build(sums, shards)}, nil
 }
 
 // Update absorbs an append delta: vizs is the FULL new candidate slice

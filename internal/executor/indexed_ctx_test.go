@@ -1,0 +1,49 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"shapesearch/internal/regexlang"
+)
+
+// TestBuildVizIndexContextCancel pins the regression the ctxpropagate
+// analyzer caught: the parallel summary pass inside the index build used to
+// run under context.Background(), so a caller whose ctx was already dead
+// still paid for summarizing the whole corpus. A cancelled ctx must abort
+// the build with the ctx's error and no index.
+func TestBuildVizIndexContextCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	series := mixedCorpus(rng, 64, 48)
+	opts := DefaultOptions()
+	opts.Pruning = true
+	plan, err := Compile(regexlang.MustParse("u ; d"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vizs := plan.GroupSeries(series)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ix, err := BuildVizIndexContext(ctx, vizs, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildVizIndexContext(cancelled ctx) err = %v, want context.Canceled", err)
+	}
+	if ix != nil {
+		t.Fatalf("BuildVizIndexContext(cancelled ctx) returned an index")
+	}
+
+	// The live path must still build, and identically to the wrapper.
+	ix, err = BuildVizIndexContext(context.Background(), vizs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix == nil || ix.Len() == 0 {
+		t.Fatal("BuildVizIndexContext(live ctx) built nothing")
+	}
+	if got, want := ix.Len(), BuildVizIndex(vizs, 0).Len(); got != want {
+		t.Fatalf("context build indexed %d candidates, wrapper indexed %d", got, want)
+	}
+}

@@ -444,7 +444,11 @@ func (p *Plan) run(ctx context.Context, n int, viz func(int) *Viz) ([]Result, er
 		if ctxErr := forEachIndex(ctx, workers, n, func(_, i int) { vizs[i] = viz(i) }); ctxErr != nil {
 			return nil, ctxErr
 		}
-		return p.runIndexed(ctx, BuildVizIndex(vizs, 0), nil)
+		ix, ixErr := BuildVizIndexContext(ctx, vizs, 0)
+		if ixErr != nil {
+			return nil, ixErr
+		}
+		return p.runIndexed(ctx, ix, nil)
 	}
 
 	// Per-worker evaluation contexts: every buffer the scoring kernel

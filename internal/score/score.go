@@ -490,6 +490,7 @@ func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.fns))
+	//lint:ignore floatdeterminism key collection is order-free; the result is sorted before returning
 	for n := range r.fns {
 		names = append(names, n)
 	}

@@ -37,7 +37,11 @@ func (ix *Index) Update(sums []*Summary, changed []int32) *Index {
 	}
 
 	seen := make(map[int32]bool, len(changed))
-	dirty := make(map[leafRef]bool)
+	// dirtySet dedupes; dirty carries the refs in first-appearance order so
+	// the re-envelope loop below is a pure function of the inputs (a map
+	// range here would patch leaves in randomized order).
+	dirtySet := make(map[leafRef]bool)
+	var dirty []leafRef
 	var added []int32
 	replaced := 0
 	for _, id := range changed {
@@ -46,7 +50,10 @@ func (ix *Index) Update(sums []*Summary, changed []int32) *Index {
 		}
 		seen[id] = true
 		if int(id) < len(ix.leafOf) && ix.leafOf[id].pos >= 0 {
-			dirty[ix.leafOf[id]] = true
+			if ref := ix.leafOf[id]; !dirtySet[ref] {
+				dirtySet[ref] = true
+				dirty = append(dirty, ref)
+			}
 			replaced++
 		} else if sums[id] != nil {
 			added = append(added, id)
@@ -79,7 +86,7 @@ func (ix *Index) Update(sums []*Summary, changed []int32) *Index {
 	dirtyShard := make([]bool, len(next.shards))
 
 	// Re-envelope dirty leaves in place (path-copied nodes, same members).
-	for ref := range dirty {
+	for _, ref := range dirty {
 		si, pos := int(ref.shard), int(ref.pos)
 		if !dirtyShard[si] {
 			next.shardLeaves[si] = append([]*Node(nil), ix.shardLeaves[si]...)

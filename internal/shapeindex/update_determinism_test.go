@@ -1,0 +1,39 @@
+package shapeindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestUpdateDeterministicOrder pins the regression the floatdeterminism
+// analyzer caught: Update used to range over the dirty-leaf map, patching
+// leaves in Go's randomized map order. The patch loop now follows a
+// first-appearance-order slice, so the produced index — spines included,
+// not just leaf content — must be a pure function of the inputs: identical
+// across repeated calls and across permutations of the changed list (the
+// dirty set is a set; its presentation order must not matter).
+func TestUpdateDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		sums := make([]*Summary, 200+rng.Intn(150))
+		for i := range sums {
+			sums[i] = randomSummary(rng)
+		}
+		ix := Build(sums, 1+rng.Intn(4))
+		newSums, changed := applyRandomUpdate(rng, sums)
+
+		base := ix.Update(newSums, changed)
+		for rep := 0; rep < 3; rep++ {
+			perm := append([]int32(nil), changed...)
+			rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			got := ix.Update(newSums, perm)
+			if !reflect.DeepEqual(got.shards, base.shards) {
+				t.Fatalf("trial %d rep %d: permuted changed list produced a different tree", trial, rep)
+			}
+			if !reflect.DeepEqual(got.leafOf, base.leafOf) || got.n != base.n {
+				t.Fatalf("trial %d rep %d: permuted changed list produced different leaf assignments", trial, rep)
+			}
+		}
+	}
+}
