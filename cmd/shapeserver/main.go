@@ -46,9 +46,17 @@ func main() {
 	planCache := flag.Int("plan-cache", 0,
 		"compiled-plan cache capacity in entries (0 = default 128)")
 	searchTimeout := flag.Duration("search-timeout", 0,
-		"per-request scoring deadline (e.g. 5s; 0 = unbounded); expired searches return 503 and free their workers")
+		"per-request deadline covering queueing and scoring (e.g. 5s; 0 = unbounded); expired searches return 503 + Retry-After")
 	rebuildThreshold := flag.Int("index-rebuild-threshold", 0,
 		"appended/patched viz count after which a cached shape index is rebuilt in the background (0 = default 1024)")
+	searchConcurrency := flag.Int("search-concurrency", 0,
+		"max concurrently admitted searches (0 = default: core count); arrivals beyond it queue, then shed with 429")
+	searchQueueDepth := flag.Int("search-queue", 0,
+		"admission queue depth across all tenants (0 = default 64); arrivals past a full queue get 429 + Retry-After")
+	searchQueueWait := flag.Duration("search-queue-wait", 0,
+		"queue-time budget: a request still queued after this is shed with 429 + Retry-After (0 = default 2s)")
+	tenantConcurrency := flag.Int("tenant-concurrency", 0,
+		"per-tenant (X-Tenant / API key) concurrent-search cap (0 = no per-tenant cap); freed slots round-robin across tenants")
 	var loads loadFlags
 	flag.Var(&loads, "load", "register a CSV dataset as name=path (repeatable)")
 	flag.Parse()
@@ -57,6 +65,10 @@ func main() {
 		server.WithCandidateCacheCapacity(*candidateCache),
 		server.WithPlanCacheCapacity(*planCache),
 		server.WithIndexRebuildThreshold(*rebuildThreshold),
+		server.WithSearchConcurrency(*searchConcurrency),
+		server.WithSearchQueueDepth(*searchQueueDepth),
+		server.WithSearchQueueWait(*searchQueueWait),
+		server.WithTenantConcurrency(*tenantConcurrency),
 	)
 	if *noCache {
 		srv.DisableCache()

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AdmissionPair enforces the admission-control bookkeeping invariants
+// (ROADMAP "Production serving hardening"): every admission slot that is
+// acquired is released on every path, and the admission gauges cannot be
+// skewed from outside the controller.
+//
+//  1. A function that acquires a slot — calls admission.admit — must pair
+//     it with `defer tk.release()` in the same function. Only a defer
+//     covers every return and panic path; the transient slot leak it
+//     prevents is precisely the "inflight counter drifts up under errors"
+//     failure the admission tests pin down.
+//  2. A ticket released outside a defer (again, outside the controller
+//     itself) is flagged: a panic or early return between the acquire and
+//     an inline release leaks the slot forever, silently shrinking the
+//     server's admitted capacity.
+//  3. The admission gauges (admitted, queued, workersOut) are mutated
+//     under admission.mu by the controller alone — admission and ticket
+//     methods, plus the new* constructor that runs before the value is
+//     shared. Any other access bypasses the pairing discipline the first
+//     two rules protect.
+//
+// All three rules self-gate on the admission/ticket type names, so the
+// analyzer is a no-op in packages without an admission controller. The
+// controller's own methods are exempt from rules 1 and 2: internally it
+// hands tickets across goroutines (the grant/withdraw race protocol),
+// which no lexical pairing rule can or should capture.
+var AdmissionPair = &Analyzer{
+	Name: "admissionpair",
+	Doc:  "admission.admit must be paired with defer ticket.release() in the same function; admission gauges are touched only by the controller",
+	Run:  runAdmissionPair,
+}
+
+func runAdmissionPair(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAdmissionPairFunc(pass, fd)
+		}
+	}
+	checkGaugeEncapsulation(pass)
+	return nil
+}
+
+// admissionMethod reports whether call invokes a method named name whose
+// receiver is the named type recv ("admission" or "ticket").
+func admissionMethod(info *types.Info, call *ast.CallExpr, name, recv string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := derefNamed(sig.Recv().Type())
+	return n != nil && n.Obj().Name() == recv
+}
+
+func checkAdmissionPairFunc(pass *Pass, fd *ast.FuncDecl) {
+	// The controller's internals are exempt: admit/withdraw/release pass
+	// tickets across goroutines by design.
+	if r := recvNamed(pass.Info, fd); r != nil {
+		switch r.Obj().Name() {
+		case "admission", "ticket":
+			return
+		}
+	}
+	var admits []token.Pos
+	var inlineReleases []token.Pos
+	deferredRelease := false
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			// The deferred call itself is the sanctioned form; its closure
+			// body (visited below) is still checked like any other code.
+			deferredCalls[ds.Call] = true
+			if admissionMethod(pass.Info, ds.Call, "release", "ticket") {
+				deferredRelease = true
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case admissionMethod(pass.Info, call, "admit", "admission"):
+			admits = append(admits, call.Pos())
+		case admissionMethod(pass.Info, call, "release", "ticket") && !deferredCalls[call]:
+			inlineReleases = append(inlineReleases, call.Pos())
+		}
+		return true
+	})
+	if !deferredRelease {
+		for _, pos := range admits {
+			pass.Reportf(pos, "admission slot acquired without a deferred release: pair admit with `defer tk.release()` in the same function so every return and panic path frees the slot")
+		}
+	}
+	for _, pos := range inlineReleases {
+		pass.Reportf(pos, "ticket released outside a defer: a panic or early return between admit and this release leaks the slot; use `defer tk.release()`")
+	}
+}
+
+// checkGaugeEncapsulation flags accesses to the admission gauges from
+// outside the controller's methods and constructor.
+func checkGaugeEncapsulation(pass *Pass) {
+	gauges := map[string]bool{"admitted": true, "queued": true, "workersOut": true}
+	funcs := indexFuncs(pass.Files)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !gauges[sel.Sel.Name] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			owner := derefNamed(pass.Info.TypeOf(sel.X))
+			if owner == nil || owner.Obj().Name() != "admission" {
+				return true
+			}
+			fd := funcs.enclosing(sel.Pos())
+			if fd == nil {
+				return true
+			}
+			if recv := recvNamed(pass.Info, fd); recv != nil {
+				switch recv.Obj().Name() {
+				case "admission", "ticket":
+					return true // the controller and its tickets move the gauges by design
+				}
+			}
+			if strings.EqualFold(fd.Name.Name, "new"+owner.Obj().Name()) {
+				return true // constructor runs before the value is shared
+			}
+			pass.Reportf(sel.Pos(), "admission gauge %s accessed outside the controller: gauges move only under admission.mu via admit/release (read them through snapshot())", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -131,6 +131,7 @@ func All() []*Analyzer {
 		CtxPropagate,
 		FloatDeterminism,
 		LockOrder,
+		AdmissionPair,
 	}
 }
 

@@ -7,6 +7,7 @@ func TestMemoEpoch(t *testing.T)        { runFixture(t, MemoEpoch, "memoepoch") 
 func TestCtxPropagate(t *testing.T)     { runFixture(t, CtxPropagate, "ctxpropagate") }
 func TestFloatDeterminism(t *testing.T) { runFixture(t, FloatDeterminism, "floatdeterminism") }
 func TestLockOrder(t *testing.T)        { runFixture(t, LockOrder, "lockorder") }
+func TestAdmissionPair(t *testing.T)    { runFixture(t, AdmissionPair, "admissionpair") }
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")

@@ -1,0 +1,106 @@
+// Fixture for the admissionpair analyzer: admission slots are released on
+// every path via defer, and the admission gauges are controller-private.
+package admissionpair
+
+import "sync"
+
+type ticket struct {
+	a    *admission
+	done bool
+}
+
+type admission struct {
+	mu         sync.Mutex
+	admitted   int
+	queued     int
+	workersOut int
+}
+
+// newAdmission seeds the gauges before the value is shared: not flagged.
+func newAdmission() *admission {
+	a := &admission{}
+	a.admitted = 0
+	return a
+}
+
+// admit and release are the controller's own methods: exempt, even though
+// release mutates gauges and admit hands out tickets inline.
+func (a *admission) admit() (*ticket, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.admitted++
+	return &ticket{a: a}, nil
+}
+
+func (tk *ticket) release() {
+	tk.a.mu.Lock()
+	defer tk.a.mu.Unlock()
+	if tk.done {
+		return
+	}
+	tk.done = true
+	tk.a.admitted--
+}
+
+// handleGood pairs the admit with a deferred release: not flagged.
+func handleGood(a *admission) error {
+	tk, err := a.admit()
+	if err != nil {
+		return err
+	}
+	defer tk.release()
+	return nil
+}
+
+// handleLeaky acquires a slot and never releases it: flagged.
+func handleLeaky(a *admission) error {
+	tk, err := a.admit() // want `admission slot acquired without a deferred release`
+	if err != nil {
+		return err
+	}
+	_ = tk
+	return nil
+}
+
+// handleInline releases on the happy path only — a panic or the early
+// return above it leaks the slot: both the acquire and the inline release
+// are flagged.
+func handleInline(a *admission) error {
+	tk, err := a.admit() // want `admission slot acquired without a deferred release`
+	if err != nil {
+		return err
+	}
+	tk.release() // want `ticket released outside a defer`
+	return nil
+}
+
+// pokeGauge reads a gauge from outside the controller: flagged.
+func pokeGauge(a *admission) int {
+	return a.admitted // want `admission gauge admitted accessed outside the controller`
+}
+
+// skewGauge writes a gauge from outside the controller: flagged.
+func skewGauge(a *admission) {
+	a.queued++ // want `admission gauge queued accessed outside the controller`
+}
+
+// wrongIgnore names a different analyzer, so nothing is suppressed.
+func wrongIgnore(a *admission) int {
+	//lint:ignore lockorder wrong analyzer name does not suppress this
+	return a.workersOut // want `admission gauge workersOut accessed outside the controller`
+}
+
+// debugGauges documents its exception: the ignore absorbs the report.
+func debugGauges(a *admission) int {
+	//lint:ignore admissionpair debug dump tolerates a racy snapshot
+	return a.workersOut
+}
+
+var _ = handleGood
+var _ = handleLeaky
+var _ = handleInline
+var _ = pokeGauge
+var _ = skewGauge
+var _ = wrongIgnore
+var _ = debugGauges
+var _ = newAdmission

@@ -7,6 +7,7 @@ import (
 
 	"shapesearch/internal/dataset"
 	"shapesearch/internal/executor"
+	"shapesearch/internal/server/faultinject"
 )
 
 // ErrNoDataset is returned by AppendRows for an unregistered dataset name.
@@ -51,6 +52,7 @@ func (s *Server) AppendRows(name string, delta *dataset.Table) (appended, total 
 	s.mu.Lock()
 	s.deltaVersions[name]++
 	s.mu.Unlock()
+	faultinject.Fire("server.append.prepatch")
 	s.patchEntries(name, version, ix, delta)
 	return delta.NumRows(), ix.NumRows(), nil
 }
@@ -227,6 +229,15 @@ func (s *Server) scheduleRebuild(key string, gen uint64, cc cachedCandidates) {
 	s.rebuildWG.Add(1)
 	go func() {
 		defer s.rebuildWG.Done()
+		faultinject.Fire("server.rebuild.start")
+		// Rebuilds yield to interactive traffic: above the load watermark
+		// (queued searches, or no free admission slot) the rebuild parks
+		// until a calm window — bounded by rebuildPauseMax so sustained
+		// overload delays the rebuild rather than starving it. A patched
+		// index stays sound at any staleness, so waiting costs pruning
+		// quality only.
+		s.adm.awaitCalm(s.rebuildPauseMax)
+		faultinject.Fire("server.rebuild.build")
 		vizs := make([]*executor.Viz, 0, len(cc.vizs))
 		for _, v := range cc.vizs {
 			if v != nil {
@@ -274,6 +285,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Appends yield to interactive searches: under load the append waits
+	// for a calm window, bounded by appendYieldMax so sustained overload
+	// slows ingestion without starving it. Correctness is unaffected — the
+	// append is byte-identical whenever it runs.
+	s.adm.awaitCalm(s.appendYieldMax)
 	appended, total, err := s.AppendRows(name, delta)
 	if err != nil {
 		code := http.StatusBadRequest

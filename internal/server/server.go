@@ -17,9 +17,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +31,7 @@ import (
 	"shapesearch/internal/executor"
 	"shapesearch/internal/nlparser"
 	"shapesearch/internal/regexlang"
+	"shapesearch/internal/server/faultinject"
 	"shapesearch/internal/shape"
 	"shapesearch/internal/sketch"
 )
@@ -64,14 +67,27 @@ type Server struct {
 	// normalized query fingerprint plus score-relevant options. Plans are
 	// dataset-independent and immutable, so the cache is never invalidated.
 	plans *planCache
-	// inflight counts searches currently executing; it divides the CPU
-	// budget across concurrent requests (see searchParallelism).
-	inflight atomic.Int64
-	// searchTimeout bounds one search's scoring time in nanoseconds
-	// (0 = unbounded). Expired or client-abandoned requests cancel the
-	// scoring pipeline cooperatively, freeing their workers for live
-	// traffic instead of wasting cores on answers nobody will read.
+	// adm is the bounded search queue in front of scoring (admission.go):
+	// it caps concurrent searches, queues arrivals FIFO per tenant with a
+	// queue-time budget, sheds the rest with 429 + Retry-After, and hands
+	// every admitted request its scoring-worker budget from a fixed pool.
+	adm *admission
+	// searchTimeout bounds one search's end-to-end time in nanoseconds
+	// (0 = unbounded), queueing included: the deadline starts before
+	// admission, so a request that would expire before a slot frees is
+	// answered from the queue without consuming a scoring worker.
 	searchTimeout atomic.Int64
+	// appendYieldMax bounds how long an HTTP append yields to interactive
+	// searches before proceeding anyway (graceful degradation: ingestion
+	// slows under overload, but is never starved).
+	appendYieldMax time.Duration
+	// rebuildPauseMax likewise bounds how long a background shape-index
+	// rebuild waits for a calm window. Patched indexes stay sound at any
+	// staleness, so pausing the rebuild costs pruning quality only.
+	rebuildPauseMax time.Duration
+	// logf sinks serving-path log lines (dropped requests, yields);
+	// overridable so tests can capture or silence it.
+	logf func(format string, args ...any)
 }
 
 // indexMinVizs is the corpus size at which a candidate-cache entry also
@@ -121,6 +137,52 @@ func WithIndexRebuildThreshold(n int) Option {
 	}
 }
 
+// WithSearchConcurrency caps the number of concurrently admitted searches
+// (default: the core count). Arrivals beyond it queue, then shed.
+// n <= 0 keeps the default.
+func WithSearchConcurrency(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.adm.concurrency = n
+		}
+	}
+}
+
+// WithSearchQueueDepth bounds the admission queue across all tenants
+// (default 64); arrivals past a full queue are shed immediately with
+// 429 + Retry-After. n <= 0 keeps the default.
+func WithSearchQueueDepth(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.adm.queueDepth = n
+		}
+	}
+}
+
+// WithSearchQueueWait sets the queue-time budget: a request still queued
+// after d is shed with 429 + Retry-After rather than admitted late
+// (default 2s). d <= 0 keeps the default.
+func WithSearchQueueWait(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.adm.queueWait = d
+		}
+	}
+}
+
+// WithTenantConcurrency caps one tenant's concurrently admitted searches
+// (default: no per-tenant cap beyond the global concurrency). With a cap
+// set, a hot tenant's burst queues behind its own cap while other
+// tenants' requests keep flowing — freed slots are granted round-robin
+// across tenants. n <= 0 keeps the default.
+func WithTenantConcurrency(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.adm.tenantCap = n
+		}
+	}
+}
+
 // New returns a server with no datasets registered.
 func New(opts ...Option) *Server {
 	s := &Server{
@@ -131,6 +193,10 @@ func New(opts ...Option) *Server {
 		nl:               nlparser.NewParser(),
 		cache:            newCandidateCache(defaultCacheCapacity),
 		plans:            newPlanCache(defaultPlanCacheCapacity),
+		adm:              newAdmission(runtime.GOMAXPROCS(0)),
+		appendYieldMax:   defaultAppendYieldMax,
+		rebuildPauseMax:  defaultRebuildPauseMax,
+		logf:             log.Printf,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -167,33 +233,32 @@ func (s *Server) Register(name string, t *dataset.Table) {
 // measure the uncached serving path).
 func (s *Server) DisableCache() { s.cache.disable() }
 
-// SetSearchTimeout bounds the scoring time of each /api/search request;
-// d <= 0 removes the bound. A request whose deadline expires (or whose
-// client disconnects) gets 503 and its workers return to the pool within
-// one candidate's scoring time.
+// SetSearchTimeout bounds the end-to-end time of each /api/search request
+// (queue wait plus scoring); d <= 0 removes the bound. A request whose
+// deadline expires gets 503 + Retry-After and its workers return to the
+// pool within one candidate's scoring time; a disconnected client is
+// logged and dropped without a response.
 func (s *Server) SetSearchTimeout(d time.Duration) { s.searchTimeout.Store(int64(d)) }
 
-// searchParallelism budgets scoring workers for one search: the machine's
-// cores are divided across the searches in flight at admission time (a
-// lone request gets them all, a saturated server hands each new request a
-// fair slice), and an explicit client ask only ever lowers the budget.
-// Budgets are fixed at admission, so staggered arrivals can transiently
-// exceed the core count — this bounds oversubscription to a small
-// multiple and converges under sustained load, rather than enforcing a
-// hard global cap. Callers must pair it with endSearch.
-func (s *Server) searchParallelism(requested int) int {
-	inflight := s.inflight.Add(1)
-	budget := int64(runtime.GOMAXPROCS(0)) / inflight
-	if budget < 1 {
-		budget = 1
-	}
-	if requested > 0 && int64(requested) < budget {
-		budget = int64(requested)
-	}
-	return int(budget)
-}
+// defaultAppendYieldMax and defaultRebuildPauseMax bound how long
+// background work (HTTP appends, shape-index rebuilds) yields to
+// interactive searches under load before proceeding anyway. Both are
+// graceful-degradation knobs, not correctness: appends and patched
+// indexes are sound regardless of when they run.
+const (
+	defaultAppendYieldMax  = 500 * time.Millisecond
+	defaultRebuildPauseMax = 30 * time.Second
+)
 
-func (s *Server) endSearch() { s.inflight.Add(-1) }
+// tenantID extracts the quota dimension for admission control: the
+// X-Tenant header, falling back to the API key (Authorization header),
+// then the anonymous tenant "".
+func tenantID(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return r.Header.Get("Authorization")
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -359,9 +424,10 @@ type searchRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Pruning   bool   `json:"pruning,omitempty"`
 	// Parallelism caps the scoring workers for this request. It is an
-	// upper bound, not a guarantee: the server divides its cores across
-	// in-flight searches and an explicit value only ever lowers that
-	// budget (0, the default, accepts the full budget).
+	// upper bound, not a guarantee: admission control grants each admitted
+	// request a fair share of the worker pool at the admitted concurrency,
+	// and an explicit value only ever lowers that grant (0, the default,
+	// accepts the full grant).
 	Parallelism int `json:"parallelism,omitempty"`
 	// MaxPoints caps the number of series points echoed per result
 	// (downsampled for plotting); 0 means 200.
@@ -458,21 +524,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		opts.Algorithm = alg
 	}
-	// One admission per request: a batch shares one worker budget, since
-	// MultiPlan scores all its queries in a single pass over the corpus.
-	budget := s.searchParallelism(req.Parallelism)
-	defer s.endSearch()
-	// The request's context governs the whole data path: the per-request
-	// timeout (if configured) starts before extraction, so an expired or
-	// abandoned request neither extracts nor scores.
+	// The request's context governs queueing and the whole data path: with
+	// a per-request timeout configured, the deadline starts before
+	// admission, so time spent waiting for a slot counts against it and a
+	// request that would expire before a slot frees is answered from the
+	// queue (503 + Retry-After) without ever consuming a scoring worker.
 	ctx := r.Context()
 	if d := time.Duration(s.searchTimeout.Load()); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+	// One admission per request: a batch shares one slot and one worker
+	// budget, since MultiPlan scores all its queries in a single pass over
+	// the corpus. The deferred release pairs with every return below —
+	// enforced by the admissionpair analyzer.
+	tk, err := s.adm.admit(ctx, tenantID(r), req.Parallelism)
+	if err != nil {
+		s.writeSearchErr(w, r, err)
+		return
+	}
+	defer tk.release()
+	faultinject.Fire("server.search.admitted")
 	if batch {
-		s.searchBatch(ctx, w, req, ix, version, dv, spec, opts, budget)
+		s.searchBatch(ctx, w, r, req, ix, version, dv, spec, opts, tk.budget)
 		return
 	}
 	q, parseResp, err := s.parseQuery(req.parseRequest)
@@ -485,8 +560,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	plan = plan.WithParallelism(budget)
-	cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, dv, ix, plan, spec)
+	plan = plan.WithParallelism(tk.budget)
+	cands, err := s.fetchCandidates(ctx, w, r, req.Dataset, version, dv, ix, plan, spec)
 	if err != nil {
 		return // fetchCandidates wrote the error response
 	}
@@ -495,6 +570,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// letting an abandoned query keep burning cores. A cached shape index
 	// routes the search through the best-first traversal (engines it cannot
 	// serve fall back to the flat pipeline inside RunIndexedContext).
+	faultinject.Fire("server.search.score")
 	var results []executor.Result
 	if cands.index != nil {
 		results, err = plan.RunIndexedContext(ctx, cands.index)
@@ -502,7 +578,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		results, err = plan.RunGroupedContext(ctx, cands.vizs)
 	}
 	if err != nil {
-		writeSearchErr(w, err)
+		s.writeSearchErr(w, r, err)
 		return
 	}
 	resp := searchResponse{
@@ -548,9 +624,9 @@ func (s *Server) compilePlan(q shape.Query, opts executor.Options) (*executor.Pl
 // that raced an append could have extracted pre-append rows yet be written
 // after the patcher ran, silently serving stale candidates from then on.
 // Both interleavings now die at the store instead.
-func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds string, version, dv uint64, ix *dataset.Index, plan *executor.Plan, spec dataset.ExtractSpec) (cachedCandidates, error) {
+func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, r *http.Request, ds string, version, dv uint64, ix *dataset.Index, plan *executor.Plan, spec dataset.ExtractSpec) (cachedCandidates, error) {
 	if err := ctx.Err(); err != nil {
-		writeSearchErr(w, err)
+		s.writeSearchErr(w, r, err)
 		return cachedCandidates{}, err
 	}
 	key := cacheKey(ds, version, plan.CandidateKey(spec))
@@ -561,6 +637,7 @@ func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds 
 		return ok
 	}
 	cands, _, err := s.cache.fetch(ctx, ds, key, dv, validate, func() (cachedCandidates, error) {
+		faultinject.Fire("server.extract")
 		espec := plan.EffectiveSpec(spec)
 		series, err := ix.Extract(espec)
 		if err != nil {
@@ -576,7 +653,7 @@ func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds 
 		return cc, nil
 	})
 	if err != nil {
-		writeSearchErr(w, err)
+		s.writeSearchErr(w, r, err)
 		return cachedCandidates{}, err
 	}
 	return cands, nil
@@ -588,7 +665,7 @@ func (s *Server) fetchCandidates(ctx context.Context, w http.ResponseWriter, ds 
 // group config) share one candidate-cache entry, and each such group is
 // scored in a single pass over its candidates by executor.MultiPlan.
 // Results come back in input-query order.
-func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req searchRequest, ix *dataset.Index, version, dv uint64, spec dataset.ExtractSpec, opts executor.Options, budget int) {
+func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, r *http.Request, req searchRequest, ix *dataset.Index, version, dv uint64, spec dataset.ExtractSpec, opts executor.Options, budget int) {
 	parses := make([]parseResponse, len(req.Queries))
 	plans := make([]*executor.Plan, len(req.Queries))
 	allHit := true
@@ -630,10 +707,11 @@ func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req sea
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		cands, err := s.fetchCandidates(ctx, w, req.Dataset, version, dv, ix, group[0], spec)
+		cands, err := s.fetchCandidates(ctx, w, r, req.Dataset, version, dv, ix, group[0], spec)
 		if err != nil {
 			return // fetchCandidates wrote the error response
 		}
+		faultinject.Fire("server.search.score")
 		var res [][]executor.Result
 		if cands.index != nil {
 			res, err = mp.RunIndexedContext(ctx, cands.index)
@@ -641,7 +719,7 @@ func (s *Server) searchBatch(ctx context.Context, w http.ResponseWriter, req sea
 			res, err = mp.RunGroupedContext(ctx, cands.vizs)
 		}
 		if err != nil {
-			writeSearchErr(w, err)
+			s.writeSearchErr(w, r, err)
 			return
 		}
 		for gi, qi := range idxs {
@@ -683,14 +761,33 @@ func renderResults(results []executor.Result, maxPts int) []searchResult {
 	return out
 }
 
-// writeSearchErr maps a search-path error to its HTTP status: context
-// expiry (timeout or client disconnect) is 503, everything else 400.
-func writeSearchErr(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, "search canceled: "+err.Error())
-		return
+// writeSearchErr maps a search-path error — from admission, extraction, or
+// scoring — to the wire:
+//
+//   - shed by admission control → 429 Too Many Requests + Retry-After
+//     (the request never consumed a scoring worker; retrying is the right
+//     move once load drains);
+//   - expired deadline (the configured search timeout, or the client's
+//     own) → 503 Service Unavailable + Retry-After: the query was valid,
+//     the server just could not finish it in time;
+//   - disconnected client → logged and dropped without writing a status:
+//     there is nobody left to read one, and synthesizing a 503 would count
+//     an abandoned request as a server failure;
+//   - anything else → 400.
+func (s *Server) writeSearchErr(w http.ResponseWriter, r *http.Request, err error) {
+	var oe *overloadError
+	switch {
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", strconv.Itoa(oe.retryAfter))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, "search deadline exceeded: "+err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, errClientGone):
+		s.logf("server: dropped %s %s: client disconnected (%v)", r.Method, r.URL.Path, err)
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
 	}
-	writeError(w, http.StatusBadRequest, err.Error())
 }
 
 func buildSpec(req searchRequest) (dataset.ExtractSpec, error) {

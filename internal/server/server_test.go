@@ -12,9 +12,9 @@ import (
 	"shapesearch/internal/dataset"
 )
 
-func testServer(t *testing.T) *Server {
+func testServer(t *testing.T, opts ...Option) *Server {
 	t.Helper()
-	s := New()
+	s := New(opts...)
 	// A tiny dataset: "peak" rises then falls, "rise" only rises.
 	var zs []string
 	var xs, ys []float64
